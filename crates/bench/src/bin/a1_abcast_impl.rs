@@ -1,0 +1,53 @@
+//! **A1 (ablation) — The cost of the atomic broadcast primitive itself.**
+//!
+//! The paper stresses that atomic broadcast is "both expensive and complex
+//! to implement". This ablation runs the §5 protocol over two classical
+//! implementations — a fixed sequencer (2 hops, ~N+1 messages) and the
+//! decentralized ISIS agreement (3 hops, 3(N-1) messages) — and reports
+//! message counts and commit latency as the system grows.
+
+use bcastdb_bench::Table;
+use bcastdb_core::{AbcastImpl, Cluster, ProtocolKind};
+use bcastdb_sim::SimDuration;
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+
+fn main() {
+    let cfg = WorkloadConfig {
+        n_keys: 1000,
+        theta: 0.5,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let mut table = Table::new(
+        "a1_abcast_impl",
+        &["sites", "impl", "commits", "messages", "msgs_per_txn", "mean_ms", "p95_ms"],
+    );
+    for n in [3usize, 5, 7, 9, 13] {
+        for (name, imp) in [("sequencer", AbcastImpl::Sequencer), ("isis", AbcastImpl::Isis)] {
+            let mut cluster = Cluster::builder()
+                .sites(n)
+                .protocol(ProtocolKind::AtomicBcast)
+                .abcast(imp)
+                .seed(29)
+                .build();
+            let run = WorkloadRun::new(cfg.clone(), 290 + n as u64);
+            let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(10));
+            assert!(report.quiesced, "{name}@{n} did not quiesce");
+            assert!(report.all_terminated(), "{name}@{n} wedged transactions");
+            cluster.check_serializability().expect("serializable");
+            let mut m = report.metrics;
+            let per_txn = report.messages as f64 / m.commits().max(1) as f64;
+            table.row(&[
+                &n,
+                &name,
+                &m.commits(),
+                &report.messages,
+                &format!("{per_txn:.1}"),
+                &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+                &format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+            ]);
+        }
+    }
+    table.emit();
+}

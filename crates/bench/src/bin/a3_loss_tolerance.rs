@@ -1,0 +1,67 @@
+//! **A3 (ablation) — The price of loss tolerance.**
+//!
+//! Reliable broadcast's *agreement* property is what the replication
+//! protocols buy their simplicity with. On a lossless network the direct
+//! implementation (one copy per receiver) suffices; tolerating message
+//! loss costs an eager relay flood plus keep-alive/retransmission traffic.
+//! This ablation measures that price and verifies the guarantees survive
+//! actual loss.
+
+use bcastdb_bench::{f2, Table};
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::{NetworkConfig, SimDuration};
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+
+fn main() {
+    let cfg = WorkloadConfig {
+        n_keys: 300,
+        theta: 0.5,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let mut table = Table::new(
+        "a3_loss_tolerance",
+        &[
+            "protocol", "loss", "relay", "commits", "aborts", "messages", "mean_ms",
+        ],
+    );
+    for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
+        for (loss, relay) in [(0.0, false), (0.0, true), (0.02, true), (0.05, true), (0.10, true)]
+        {
+            let mut cluster = Cluster::builder()
+                .sites(4)
+                .protocol(proto)
+                .network(NetworkConfig::lan().with_loss(loss))
+                .relay(relay)
+                .seed(83)
+                .build();
+            let run = WorkloadRun::new(cfg.clone(), 830);
+            let report = run.open_loop(&mut cluster, 15, SimDuration::from_millis(8));
+            assert!(report.quiesced, "{proto}@loss{loss}");
+            assert!(
+                report.all_terminated(),
+                "{proto}@loss{loss} wedged transactions"
+            );
+            assert!(report.converged, "{proto}@loss{loss} diverged");
+            cluster
+                .check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}@loss{loss}: {v}"));
+            let m = report.metrics;
+            table.row(&[
+                &proto.name(),
+                &format!("{:.0}%", loss * 100.0),
+                &relay,
+                &m.commits(),
+                &m.aborts(),
+                &report.messages,
+                &f2(m.update_latency.mean().as_millis_f64()),
+            ]);
+        }
+    }
+    table.emit();
+    println!(
+        "\nEvery lossy run stayed one-copy serializable with all replicas converged —\n\
+         the relay flood plus origin-retransmission buys agreement under loss."
+    );
+}

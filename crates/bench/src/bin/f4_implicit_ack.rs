@@ -1,0 +1,117 @@
+//! **F4 — The causal protocol's implicit-acknowledgement latency.**
+//!
+//! The paper's own caveat about §4: "the causal broadcast protocol with
+//! implicit positive acknowledgment ... is most appropriate for situations
+//! where all sites broadcast messages fairly frequently; otherwise the wait
+//! for 'implicit' acknowledgments can become a drawback resulting in
+//! substantial delays for transaction commitment."
+//!
+//! Two sweeps quantify that:
+//!
+//! 1. **Background traffic density** (null messages off): commit latency of
+//!    a sparse probe stream as unrelated update traffic gets denser.
+//!    Latency tracks the traffic gap.
+//! 2. **Null-message period** (the paper's mitigation): commit latency on a
+//!    quiet cluster as a function of the keep-alive period. Latency tracks
+//!    the tick.
+
+use bcastdb_bench::Table;
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::{SimDuration, SimTime, SiteId};
+use bcastdb_core::TxnSpec;
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+
+fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String) {
+    // Ten probe transactions spread out at site 0, no key overlap with
+    // background traffic.
+    let mut ids = Vec::new();
+    for i in 0..10u64 {
+        let at = SimTime::from_micros(5_000 + i * 50_000);
+        ids.push(cluster.submit_at(
+            at,
+            SiteId(0),
+            TxnSpec::new().write(format!("probe{i}").as_str(), i as i64),
+        ));
+    }
+    cluster.run_to_quiescence();
+    let mut m = cluster.metrics();
+    let committed = ids.iter().filter(|t| cluster.is_committed(**t)).count();
+    table.row(&[
+        &label,
+        &x,
+        &committed,
+        &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+        &format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+    ]);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "f4_implicit_ack",
+        &["series", "x", "probe_commits", "mean_ms", "p95_ms"],
+    );
+
+    // Sweep 1: background traffic density, nulls OFF.
+    for gap_ms in [2u64, 5, 10, 20, 50] {
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(ProtocolKind::CausalBcast)
+            .null_messages(false)
+            .seed(17)
+            .build();
+        // Background: steady unrelated updates from sites 1..4.
+        let cfg = WorkloadConfig {
+            n_keys: 2000,
+            theta: 0.0,
+            reads_per_txn: 0,
+            writes_per_txn: 1,
+            ..WorkloadConfig::default()
+        };
+        let run = WorkloadRun::new(cfg, 170 + gap_ms);
+        // Schedule background first (probe shares the cluster run).
+        let zipf = run.config.sampler();
+        let mut rng = bcastdb_sim::DetRng::new(run.seed);
+        for site in 1..5 {
+            let mut at = SimTime::ZERO;
+            let mut site_rng = rng.fork(site as u64);
+            for _ in 0..40 {
+                at += SimDuration::from_millis(gap_ms);
+                let spec = run.config.gen_txn(&zipf, &mut site_rng);
+                cluster.submit_at(at, SiteId(site), spec);
+            }
+        }
+        probe(
+            &mut cluster,
+            "traffic-gap(nulls-off)",
+            &mut table,
+            format!("{gap_ms}ms"),
+        );
+    }
+
+    // Sweep 2: quiet cluster, nulls ON, varying the keep-alive period.
+    for tick_ms in [1u64, 2, 5, 10, 20, 50] {
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(ProtocolKind::CausalBcast)
+            .tick_every(SimDuration::from_millis(tick_ms))
+            .seed(18)
+            .build();
+        probe(
+            &mut cluster,
+            "null-period(quiet)",
+            &mut table,
+            format!("{tick_ms}ms"),
+        );
+    }
+
+    // Reference: the reliable protocol's explicit votes on the same quiet
+    // cluster (its latency does not depend on traffic at all).
+    let mut cluster = Cluster::builder()
+        .sites(5)
+        .protocol(ProtocolKind::ReliableBcast)
+        .seed(19)
+        .build();
+    probe(&mut cluster, "reliable-reference", &mut table, "-".into());
+
+    table.emit();
+}

@@ -1,0 +1,128 @@
+//! **T2 — Behaviour under site failure.**
+//!
+//! The paper's fault-tolerance story: "as long as the view has majority
+//! membership, the system remains operational." This experiment crashes a
+//! replica mid-run under each broadcast protocol and reports
+//!
+//! - commits before the crash,
+//! - the view-change delay (crash → last survivor installs the new view),
+//! - in-flight transactions aborted by the view change,
+//! - commits after the crash (the majority keeps going),
+//! - and the blocked state of a minority partition.
+
+use bcastdb_bench::Table;
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::{SimDuration, SimTime, SiteId};
+use bcastdb_workload::WorkloadConfig;
+use bcastdb_sim::DetRng;
+
+const N: usize = 5;
+const CRASH_AT_US: u64 = 200_000;
+
+fn main() {
+    let mut table = Table::new(
+        "t2_failures",
+        &[
+            "protocol",
+            "pre_commits",
+            "view_change_ms",
+            "aborted_by_view",
+            "post_commits",
+            "survivors_serializable",
+        ],
+    );
+    for proto in [
+        ProtocolKind::ReliableBcast,
+        ProtocolKind::CausalBcast,
+        ProtocolKind::AtomicBcast,
+    ] {
+        let mut cluster = Cluster::builder()
+            .sites(N)
+            .protocol(proto)
+            .seed(37)
+            .membership(true)
+            .suspect_after(SimDuration::from_millis(60))
+            .build();
+        let cfg = WorkloadConfig {
+            n_keys: 300,
+            theta: 0.5,
+            reads_per_txn: 1,
+            writes_per_txn: 2,
+            ..WorkloadConfig::default()
+        };
+        let zipf = cfg.sampler();
+        let mut rng = DetRng::new(370);
+        // Pre-crash load on all sites.
+        for site in 0..N {
+            let mut at = SimTime::from_micros(1_000);
+            let mut site_rng = rng.fork(site as u64);
+            for _ in 0..10 {
+                at += SimDuration::from_millis(15);
+                cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+            }
+        }
+        cluster.run_until(SimTime::from_micros(CRASH_AT_US));
+        let pre_commits = cluster.metrics().commits();
+
+        cluster.crash(SiteId(N - 1));
+        // Run until every survivor has evicted the crashed site.
+        let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
+        loop {
+            view_change_done = view_change_done + SimDuration::from_millis(5);
+            cluster.run_until(view_change_done);
+            let all_evicted = (0..N - 1)
+                .all(|s| !cluster.replica(SiteId(s)).view_members().contains(&SiteId(N - 1)));
+            if all_evicted {
+                break;
+            }
+            assert!(
+                view_change_done < SimTime::from_micros(CRASH_AT_US + 2_000_000),
+                "{proto}: view change never completed"
+            );
+        }
+        let view_change_ms =
+            (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
+        let aborted_by_view = cluster.metrics().counters.get("abort_view_change");
+
+        // Post-crash load on the survivors.
+        for site in 0..N - 1 {
+            let mut at = view_change_done + SimDuration::from_millis(5);
+            let mut site_rng = rng.fork(100 + site as u64);
+            for _ in 0..10 {
+                at += SimDuration::from_millis(15);
+                cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+            }
+        }
+        cluster.run_until(view_change_done + SimDuration::from_secs(2));
+        let post_commits = cluster.metrics().commits() - pre_commits;
+        let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
+        let serializable = cluster.check_serializability_among(&survivors).is_ok();
+
+        table.row(&[
+            &proto.name(),
+            &pre_commits,
+            &format!("{view_change_ms:.1}"),
+            &aborted_by_view,
+            &post_commits,
+            &serializable,
+        ]);
+    }
+
+    // Minority partition: 2 of 5 sites must block.
+    let mut cluster = Cluster::builder()
+        .sites(N)
+        .protocol(ProtocolKind::ReliableBcast)
+        .seed(38)
+        .membership(true)
+        .suspect_after(SimDuration::from_millis(60))
+        .build();
+    cluster.run_until(SimTime::from_micros(50_000));
+    for s in 2..N {
+        cluster.crash(SiteId(s));
+    }
+    cluster.run_until(SimTime::from_micros(600_000));
+    let blocked = (0..2).all(|s| !cluster.replica(SiteId(s)).is_operational());
+    table.emit();
+    println!("\nminority partition (2 of 5 survivors): blocked = {blocked}");
+    assert!(blocked, "a minority view must not remain operational");
+}

@@ -1,0 +1,135 @@
+//! Shared helpers for the experiment harness binaries (one per table /
+//! figure of the reproduced evaluation) and the Criterion micro-benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::path::Path;
+
+/// A simple aligned-column table printer with optional CSV mirroring.
+///
+/// Every experiment binary prints its table through this, and (when
+/// `BCASTDB_RESULTS_DIR` is set) also writes `<name>.csv` there so the
+/// series can be plotted.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given experiment name and column headers.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are formatted with `Display`).
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the table to stdout and mirrors it to CSV if
+    /// `BCASTDB_RESULTS_DIR` is set.
+    pub fn emit(&self) {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        println!("\n== {} ==", self.name);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", header_line.join("  "));
+        println!("{}", "-".repeat(header_line.join("  ").len()));
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+        if let Ok(dir) = std::env::var("BCASTDB_RESULTS_DIR") {
+            let _ = fs::create_dir_all(&dir);
+            let path = Path::new(&dir).join(format!("{}.csv", self.name));
+            let mut csv = self.headers.join(",") + "\n";
+            for r in &self.rows {
+                csv.push_str(&r.join(","));
+                csv.push('\n');
+            }
+            if fs::write(&path, csv).is_ok() {
+                println!("(written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as `x.xx×` (or `n/a` for a zero denominator).
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "n/a".to_owned()
+    } else {
+        format!("{:.2}x", num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_align() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        t.emit(); // smoke: no panic
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&[&1, &2]);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+    }
+
+    #[test]
+    fn f2_formats_two_decimals() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f2(2.5), "2.50");
+    }
+}

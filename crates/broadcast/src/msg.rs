@@ -1,0 +1,123 @@
+//! Common message plumbing shared by the broadcast engines.
+
+use bcastdb_sim::SiteId;
+use std::fmt;
+
+/// Globally unique identifier of a broadcast message: the originating site
+/// plus a per-origin sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MsgId {
+    /// Site that initiated the broadcast.
+    pub origin: SiteId,
+    /// Per-origin broadcast sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// Where an [`Outbound`] wire message should be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Every site, including the caller.
+    All,
+    /// Every site except the caller.
+    Others,
+    /// One specific site.
+    Site(SiteId),
+}
+
+/// A wire message the engine wants the transport to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbound<W> {
+    /// Destination selector.
+    pub dest: Dest,
+    /// The wire payload.
+    pub wire: W,
+}
+
+impl<W> Outbound<W> {
+    /// Convenience constructor for a message to everyone (incl. self).
+    pub fn all(wire: W) -> Self {
+        Outbound {
+            dest: Dest::All,
+            wire,
+        }
+    }
+
+    /// Convenience constructor for a message to everyone else.
+    pub fn others(wire: W) -> Self {
+        Outbound {
+            dest: Dest::Others,
+            wire,
+        }
+    }
+
+    /// Convenience constructor for a unicast.
+    pub fn to(site: SiteId, wire: W) -> Self {
+        Outbound {
+            dest: Dest::Site(site),
+            wire,
+        }
+    }
+}
+
+/// Expands a [`Dest`] into concrete site ids for a system of `n` sites with
+/// the caller at `me`.
+pub fn expand_dest(dest: Dest, me: SiteId, n: usize) -> Vec<SiteId> {
+    match dest {
+        Dest::All => (0..n).map(SiteId).collect(),
+        Dest::Others => (0..n).map(SiteId).filter(|&s| s != me).collect(),
+        Dest::Site(s) => vec![s],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_orders_by_origin_then_seq() {
+        let a = MsgId {
+            origin: SiteId(0),
+            seq: 9,
+        };
+        let b = MsgId {
+            origin: SiteId(1),
+            seq: 1,
+        };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "s0#9");
+    }
+
+    #[test]
+    fn expand_all_includes_me() {
+        assert_eq!(
+            expand_dest(Dest::All, SiteId(1), 3),
+            vec![SiteId(0), SiteId(1), SiteId(2)]
+        );
+    }
+
+    #[test]
+    fn expand_others_excludes_me() {
+        assert_eq!(
+            expand_dest(Dest::Others, SiteId(1), 3),
+            vec![SiteId(0), SiteId(2)]
+        );
+    }
+
+    #[test]
+    fn expand_site_is_singleton() {
+        assert_eq!(expand_dest(Dest::Site(SiteId(2)), SiteId(0), 5), vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn outbound_constructors() {
+        assert_eq!(Outbound::all(7u8).dest, Dest::All);
+        assert_eq!(Outbound::others(7u8).dest, Dest::Others);
+        assert_eq!(Outbound::to(SiteId(3), 7u8).dest, Dest::Site(SiteId(3)));
+    }
+}

@@ -1,0 +1,343 @@
+//! Reliable broadcast.
+//!
+//! The simplest primitive in the paper (§3), per the \[HT93\] specification:
+//!
+//! 1. **Validity** — if a correct process broadcasts `m`, all correct
+//!    processes eventually deliver `m`;
+//! 2. **Agreement** — if a correct process delivers `m`, all correct
+//!    processes eventually deliver `m`;
+//! 3. **Integrity** — every process delivers `m` at most once, and only if
+//!    it was broadcast.
+//!
+//! Because the paper assumes FIFO links, this implementation additionally
+//! guarantees **per-origin FIFO delivery**: messages from the same origin
+//! are delivered in broadcast order (a commit request broadcast after a
+//! write operation is delivered after it everywhere).
+//!
+//! Two dissemination modes:
+//!
+//! - *direct* (default): the origin sends one copy to every other site —
+//!   `N-1` messages per broadcast. Sufficient on a lossless network while
+//!   the origin stays up.
+//! - *relay* ([`ReliableBcast::with_relay`]): every site eagerly re-forwards
+//!   the first copy it receives — `O(N²)` messages, but agreement holds even
+//!   if the origin crashes mid-broadcast or individual copies are lost.
+
+use crate::msg::{Dest, MsgId, Outbound};
+use bcastdb_sim::SiteId;
+use std::collections::{BTreeMap, HashSet};
+
+/// Wire format of the reliable broadcast engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire<P> {
+    /// Message identity (origin + per-origin sequence).
+    pub id: MsgId,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// An application-level delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Message identity.
+    pub id: MsgId,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Result of feeding the engine one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output<P> {
+    /// Messages now deliverable to the application, in delivery order.
+    pub deliveries: Vec<Delivery<P>>,
+    /// Wire messages to hand to the transport.
+    pub outbound: Vec<Outbound<Wire<P>>>,
+}
+
+impl<P> Output<P> {
+    fn empty() -> Self {
+        Output {
+            deliveries: Vec::new(),
+            outbound: Vec::new(),
+        }
+    }
+}
+
+/// A sans-IO reliable broadcast engine for one site.
+#[derive(Debug)]
+pub struct ReliableBcast<P> {
+    me: SiteId,
+    relay: bool,
+    next_seq: u64,
+    /// Highest contiguously delivered sequence per origin.
+    delivered_seq: Vec<u64>,
+    /// Out-of-order messages awaiting their FIFO predecessors.
+    holdback: BTreeMap<(SiteId, u64), P>,
+    /// Every payload ever seen (sent or received), retained for
+    /// retransmission to peers that lost their copies.
+    archive: BTreeMap<(SiteId, u64), P>,
+    /// Everything ever received (for relay dedup); identical to
+    /// `delivered + holdback` keys plus in-flight duplicates.
+    seen: HashSet<MsgId>,
+}
+
+impl<P: Clone> ReliableBcast<P> {
+    /// Creates an engine for site `me` of an `n`-site system, in direct
+    /// dissemination mode.
+    ///
+    /// # Panics
+    /// Panics if `me` is not a valid site of an `n`-site system.
+    pub fn new(me: SiteId, n: usize) -> Self {
+        assert!(me.0 < n, "site {me} out of range for {n} sites");
+        ReliableBcast {
+            me,
+            relay: false,
+            next_seq: 0,
+            delivered_seq: vec![0; n],
+            holdback: BTreeMap::new(),
+            archive: BTreeMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Enables eager relaying (agreement despite origin crash / loss).
+    pub fn with_relay(mut self) -> Self {
+        self.relay = true;
+        self
+    }
+
+    /// This engine's site.
+    pub fn me(&self) -> SiteId {
+        self.me
+    }
+
+    /// Broadcasts `payload`; the local delivery is returned immediately
+    /// (FIFO trivially holds for one's own messages).
+    pub fn broadcast(&mut self, payload: P) -> (MsgId, Output<P>) {
+        self.next_seq += 1;
+        let id = MsgId {
+            origin: self.me,
+            seq: self.next_seq,
+        };
+        self.seen.insert(id);
+        self.delivered_seq[self.me.0] = id.seq;
+        self.archive.insert((self.me, id.seq), payload.clone());
+        let out = Output {
+            deliveries: vec![Delivery {
+                id,
+                payload: payload.clone(),
+            }],
+            outbound: vec![Outbound {
+                dest: Dest::Others,
+                wire: Wire { id, payload },
+            }],
+        };
+        (id, out)
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_wire(&mut self, _from: SiteId, wire: Wire<P>) -> Output<P> {
+        if !self.seen.insert(wire.id) {
+            return Output::empty(); // duplicate
+        }
+        let mut out = Output::empty();
+        if self.relay {
+            out.outbound.push(Outbound {
+                dest: Dest::Others,
+                wire: wire.clone(),
+            });
+        }
+        let origin = wire.id.origin;
+        self.archive
+            .insert((origin, wire.id.seq), wire.payload.clone());
+        self.holdback.insert((origin, wire.id.seq), wire.payload);
+        // Drain the FIFO-contiguous prefix for this origin.
+        loop {
+            let next = self.delivered_seq[origin.0] + 1;
+            match self.holdback.remove(&(origin, next)) {
+                Some(payload) => {
+                    self.delivered_seq[origin.0] = next;
+                    out.deliveries.push(Delivery {
+                        id: MsgId { origin, seq: next },
+                        payload,
+                    });
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of messages delivered from `origin` so far.
+    pub fn delivered_from(&self, origin: SiteId) -> u64 {
+        self.delivered_seq[origin.0]
+    }
+
+    /// Snapshot of per-origin delivery watermarks (for state transfer).
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.delivered_seq.clone()
+    }
+
+    /// Resumes a recovered engine from a donor's watermarks: deliveries the
+    /// donor has seen are treated as already delivered here (their payloads
+    /// arrive via state transfer, not re-broadcast). The own-origin counter
+    /// also continues from the watermark so future broadcasts keep their
+    /// FIFO numbering.
+    ///
+    /// # Panics
+    /// Panics if the watermark vector has the wrong width.
+    pub fn resume_from(&mut self, watermarks: &[u64]) {
+        assert_eq!(watermarks.len(), self.delivered_seq.len(), "width mismatch");
+        for (mine, &donor) in self.delivered_seq.iter_mut().zip(watermarks) {
+            *mine = (*mine).max(donor);
+        }
+        self.next_seq = self.next_seq.max(self.delivered_seq[self.me.0]);
+        self.holdback.clear();
+    }
+
+    /// Number of messages currently held back waiting for predecessors.
+    pub fn holdback_len(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Archived messages a peer at the given delivery watermarks is
+    /// missing, gap-first per origin, at most `cap` in total. The peer's
+    /// duplicate suppression makes over-sending harmless.
+    pub fn retransmissions_for(&self, watermarks: &[u64], cap: usize) -> Vec<Wire<P>> {
+        let mut out = Vec::new();
+        for origin in 0..watermarks.len().min(self.delivered_seq.len()) {
+            let mut next = watermarks[origin] + 1;
+            while out.len() < cap {
+                match self.archive.get(&(SiteId(origin), next)) {
+                    Some(p) => out.push(Wire {
+                        id: MsgId {
+                            origin: SiteId(origin),
+                            seq: next,
+                        },
+                        payload: p.clone(),
+                    }),
+                    None => break, // we do not have it (or no gap)
+                }
+                next += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(origin: usize, seq: u64, p: &str) -> Wire<String> {
+        Wire {
+            id: MsgId {
+                origin: SiteId(origin),
+                seq,
+            },
+            payload: p.to_owned(),
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_locally_and_sends_to_others() {
+        let mut rb = ReliableBcast::new(SiteId(0), 3);
+        let (id, out) = rb.broadcast("a".to_owned());
+        assert_eq!(id.seq, 1);
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].payload, "a");
+        assert_eq!(out.outbound.len(), 1);
+        assert_eq!(out.outbound[0].dest, Dest::Others);
+    }
+
+    #[test]
+    fn in_order_wire_messages_deliver_immediately() {
+        let mut rb = ReliableBcast::new(SiteId(1), 3);
+        let o1 = rb.on_wire(SiteId(0), wire(0, 1, "a"));
+        assert_eq!(o1.deliveries.len(), 1);
+        let o2 = rb.on_wire(SiteId(0), wire(0, 2, "b"));
+        assert_eq!(o2.deliveries.len(), 1);
+        assert_eq!(rb.delivered_from(SiteId(0)), 2);
+    }
+
+    #[test]
+    fn out_of_order_messages_are_held_back() {
+        let mut rb = ReliableBcast::new(SiteId(1), 3);
+        let o2 = rb.on_wire(SiteId(0), wire(0, 2, "b"));
+        assert!(o2.deliveries.is_empty());
+        assert_eq!(rb.holdback_len(), 1);
+        let o1 = rb.on_wire(SiteId(0), wire(0, 1, "a"));
+        let got: Vec<_> = o1.deliveries.iter().map(|d| d.payload.as_str()).collect();
+        assert_eq!(got, vec!["a", "b"]);
+        assert_eq!(rb.holdback_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut rb = ReliableBcast::new(SiteId(1), 3);
+        assert_eq!(rb.on_wire(SiteId(0), wire(0, 1, "a")).deliveries.len(), 1);
+        assert!(rb.on_wire(SiteId(0), wire(0, 1, "a")).deliveries.is_empty());
+        assert!(rb.on_wire(SiteId(2), wire(0, 1, "a")).deliveries.is_empty());
+    }
+
+    #[test]
+    fn fifo_is_per_origin_not_global() {
+        let mut rb = ReliableBcast::new(SiteId(2), 3);
+        // Origin 1's first message is deliverable even though origin 0's
+        // first message is missing.
+        assert!(rb.on_wire(SiteId(0), wire(0, 2, "x")).deliveries.is_empty());
+        assert_eq!(rb.on_wire(SiteId(1), wire(1, 1, "y")).deliveries.len(), 1);
+    }
+
+    #[test]
+    fn relay_forwards_first_copy_only() {
+        let mut rb = ReliableBcast::new(SiteId(1), 3).with_relay();
+        let o1 = rb.on_wire(SiteId(0), wire(0, 1, "a"));
+        assert_eq!(o1.outbound.len(), 1, "first copy is relayed");
+        let o2 = rb.on_wire(SiteId(2), wire(0, 1, "a"));
+        assert!(o2.outbound.is_empty(), "duplicate is not re-relayed");
+    }
+
+    #[test]
+    fn direct_mode_never_relays() {
+        let mut rb = ReliableBcast::new(SiteId(1), 3);
+        let o = rb.on_wire(SiteId(0), wire(0, 1, "a"));
+        assert!(o.outbound.is_empty());
+    }
+
+    #[test]
+    fn own_sequence_counts_toward_fifo() {
+        let mut rb = ReliableBcast::new(SiteId(0), 2);
+        rb.broadcast("a".to_owned());
+        rb.broadcast("b".to_owned());
+        assert_eq!(rb.delivered_from(SiteId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constructor_validates_site() {
+        let _ = ReliableBcast::<u8>::new(SiteId(5), 3);
+    }
+
+    #[test]
+    fn interleaved_origins_each_keep_fifo() {
+        let mut rb = ReliableBcast::new(SiteId(2), 4);
+        let mut delivered = Vec::new();
+        for w in [
+            wire(0, 2, "a2"),
+            wire(1, 1, "b1"),
+            wire(0, 1, "a1"),
+            wire(1, 3, "b3"),
+            wire(1, 2, "b2"),
+        ] {
+            for d in rb.on_wire(w.id.origin, w).deliveries {
+                delivered.push(d.payload);
+            }
+        }
+        // Per-origin order holds.
+        let a: Vec<_> = delivered.iter().filter(|p| p.starts_with('a')).collect();
+        let b: Vec<_> = delivered.iter().filter(|p| p.starts_with('b')).collect();
+        assert_eq!(a, ["a1", "a2"]);
+        assert_eq!(b, ["b1", "b2", "b3"]);
+    }
+}

@@ -1,0 +1,623 @@
+//! The public facade: a replicated-database cluster running inside the
+//! deterministic simulator.
+
+use crate::engine::{NodeConfig, ReplicaNode};
+use crate::metrics::Metrics;
+use crate::payload::{AbcastImpl, ProtocolKind, ReplicaTimer};
+use crate::placement::Placement;
+use crate::state::ConflictPolicy;
+use bcastdb_db::sg::SgViolation;
+use bcastdb_db::{HistoryRecorder, Key, TxnId, TxnSpec, Value};
+use bcastdb_sim::{NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId};
+
+/// The fate of a submitted transaction, as known at its origin site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed everywhere.
+    Committed,
+    /// Aborted.
+    Aborted,
+    /// Still in flight (or lost to a crash).
+    Pending,
+}
+
+/// Cluster-wide configuration. Build via [`Cluster::builder`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replicas.
+    pub sites: usize,
+    /// Protocol to run.
+    pub protocol: ProtocolKind,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Network profile.
+    pub net: NetworkConfig,
+    /// Conflict policy (ablation A2).
+    pub policy: ConflictPolicy,
+    /// Atomic-broadcast implementation (ablation A1).
+    pub abcast: AbcastImpl,
+    /// Tick period (timeouts, null messages, membership heartbeats).
+    pub tick_every: SimDuration,
+    /// Point-to-point deadlock timeout.
+    pub p2p_timeout: SimDuration,
+    /// Causal-protocol null messages (the implicit-ack keep-alive).
+    pub null_messages: bool,
+    /// Run the membership service (failure experiments; prevents
+    /// quiescence, so pair with [`Cluster::run_until`]).
+    pub membership: bool,
+    /// Failure-detector suspicion timeout.
+    pub suspect_after: SimDuration,
+    /// Eager broadcast relaying: every site re-forwards the first copy of
+    /// each broadcast, so the reliable/causal protocols tolerate message
+    /// loss (pair with a lossy [`NetworkConfig`]).
+    pub relay: bool,
+    /// Per-operation think time (zero = a transaction's reads are acquired
+    /// and its writes broadcast in single instants; nonzero models clients
+    /// that issue operations sequentially, as the paper assumes).
+    pub think_time: SimDuration,
+    /// Replica placement: full replication (the paper's model, default) or
+    /// partial replication on a deterministic ring.
+    pub placement: Placement,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            sites: 3,
+            protocol: ProtocolKind::ReliableBcast,
+            seed: 0,
+            net: NetworkConfig::lan(),
+            policy: ConflictPolicy::WoundWait,
+            abcast: AbcastImpl::Sequencer,
+            tick_every: SimDuration::from_millis(5),
+            p2p_timeout: SimDuration::from_millis(500),
+            null_messages: true,
+            membership: false,
+            suspect_after: SimDuration::from_millis(100),
+            relay: false,
+            think_time: SimDuration::ZERO,
+            placement: Placement::Full,
+        }
+    }
+}
+
+/// Fluent builder for [`Cluster`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterBuilder {
+    /// Number of replicas (≥ 1).
+    pub fn sites(mut self, n: usize) -> Self {
+        self.cfg.sites = n;
+        self
+    }
+
+    /// Which protocol to run.
+    pub fn protocol(mut self, p: ProtocolKind) -> Self {
+        self.cfg.protocol = p;
+        self
+    }
+
+    /// Simulation seed — same seed, same execution.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Network profile (latency/loss).
+    pub fn network(mut self, net: NetworkConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    /// Conflict policy between update transactions.
+    pub fn policy(mut self, p: ConflictPolicy) -> Self {
+        self.cfg.policy = p;
+        self
+    }
+
+    /// Atomic-broadcast implementation.
+    pub fn abcast(mut self, a: AbcastImpl) -> Self {
+        self.cfg.abcast = a;
+        self
+    }
+
+    /// Tick period.
+    pub fn tick_every(mut self, d: SimDuration) -> Self {
+        self.cfg.tick_every = d;
+        self
+    }
+
+    /// Point-to-point deadlock timeout.
+    pub fn p2p_timeout(mut self, d: SimDuration) -> Self {
+        self.cfg.p2p_timeout = d;
+        self
+    }
+
+    /// Enable/disable causal null messages.
+    pub fn null_messages(mut self, on: bool) -> Self {
+        self.cfg.null_messages = on;
+        self
+    }
+
+    /// Enable the membership service.
+    pub fn membership(mut self, on: bool) -> Self {
+        self.cfg.membership = on;
+        self
+    }
+
+    /// Failure-detector suspicion timeout.
+    pub fn suspect_after(mut self, d: SimDuration) -> Self {
+        self.cfg.suspect_after = d;
+        self
+    }
+
+    /// Enable eager broadcast relaying (message-loss tolerance).
+    pub fn relay(mut self, on: bool) -> Self {
+        self.cfg.relay = on;
+        self
+    }
+
+    /// Per-operation think time (paces both reads and write broadcasts).
+    pub fn think_time(mut self, d: SimDuration) -> Self {
+        self.cfg.think_time = d;
+        self
+    }
+
+    /// Replica placement (defaults to full replication).
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.cfg.placement = p;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    /// Panics if `sites == 0`.
+    pub fn build(self) -> Cluster {
+        Cluster::new(self.cfg)
+    }
+}
+
+/// A simulated replicated-database cluster.
+pub struct Cluster {
+    sim: Simulation<ReplicaNode>,
+    cfg: ClusterConfig,
+    next_num: Vec<u64>,
+    last_submit: Vec<SimTime>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Creates a cluster from an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg.sites == 0`.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.sites > 0, "a cluster needs at least one site");
+        let node_cfg = NodeConfig {
+            protocol: cfg.protocol,
+            abcast: cfg.abcast,
+            policy: cfg.policy,
+            tick_every: cfg.tick_every,
+            p2p_timeout: cfg.p2p_timeout,
+            null_messages: cfg.null_messages,
+            membership: cfg.membership,
+            suspect_after: cfg.suspect_after,
+            relay: cfg.relay,
+            think_time: cfg.think_time,
+            placement: cfg.placement,
+        };
+        let nodes = (0..cfg.sites)
+            .map(|i| ReplicaNode::new(SiteId(i), cfg.sites, node_cfg.clone()))
+            .collect();
+        let mut sim = Simulation::new(cfg.seed, cfg.net.clone(), nodes);
+        if cfg.membership {
+            // Bootstrap the heartbeat machinery: one staggered initial tick
+            // per site (afterwards each node re-arms its own ticks).
+            for i in 0..cfg.sites {
+                sim.schedule_timer(
+                    SimTime::from_micros(37 * i as u64),
+                    SiteId(i),
+                    ReplicaTimer::Tick,
+                );
+            }
+        }
+        Cluster {
+            sim,
+            next_num: vec![0; cfg.sites],
+            last_submit: vec![SimTime::ZERO; cfg.sites],
+            cfg,
+        }
+    }
+
+    /// The configuration this cluster runs.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// All site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.cfg.sites).map(SiteId)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Submits `spec` at `site`, effective immediately. Returns the id the
+    /// transaction will receive.
+    pub fn submit(&mut self, site: SiteId, spec: TxnSpec) -> TxnId {
+        let at = self.sim.now();
+        self.submit_at(at, site, spec)
+    }
+
+    /// Submits `spec` at `site` at absolute virtual time `at`.
+    ///
+    /// Submissions at the same site must be scheduled in nondecreasing time
+    /// order — ids are assigned in arrival order.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes an earlier submission at the same site, or
+    /// `site` is out of range.
+    pub fn submit_at(&mut self, at: SimTime, site: SiteId, spec: TxnSpec) -> TxnId {
+        assert!(site.0 < self.cfg.sites, "site {site} out of range");
+        assert!(
+            at >= self.last_submit[site.0],
+            "submissions at one site must be time-ordered"
+        );
+        self.last_submit[site.0] = at;
+        self.next_num[site.0] += 1;
+        let id = TxnId::new(site, self.next_num[site.0]);
+        self.sim.schedule_timer(at, site, ReplicaTimer::Submit(spec));
+        id
+    }
+
+    /// Seeds an initial value at every replica (before the measured run).
+    pub fn seed_key(&mut self, key: impl Into<Key>, value: Value) {
+        let key = key.into();
+        for i in 0..self.cfg.sites {
+            self.sim
+                .node_mut(SiteId(i))
+                .state_mut()
+                .store
+                .seed(key.clone(), value);
+        }
+    }
+
+    /// Runs until the event queue drains (default budget: 10 virtual
+    /// minutes — a safety valve against protocol livelock).
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.sim.run_to_quiescence(SimDuration::from_secs(600))
+    }
+
+    /// Runs until `deadline` (for experiments with perpetual timers, e.g.
+    /// membership heartbeats).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Crashes a site (fail-stop): it stops sending and receiving.
+    pub fn crash(&mut self, site: SiteId) {
+        self.sim.network_mut().crash(site);
+    }
+
+    /// Partitions the cluster into two groups that cannot communicate
+    /// (both keep running; with membership enabled the majority side stays
+    /// operational and the minority blocks).
+    pub fn partition(&mut self, group_a: &[SiteId], group_b: &[SiteId]) {
+        self.sim.network_mut().partition(group_a, group_b);
+    }
+
+    /// Heals all partitions (crashed sites stay crashed).
+    pub fn heal_partitions(&mut self) {
+        self.sim.network_mut().heal_all();
+    }
+
+    /// Recovers a crashed site by state transfer from `donor` — the
+    /// paper's "site failures and recovery" story. Call at a quiet moment
+    /// (no in-flight transactions): the recovered replica adopts the
+    /// donor's committed state, decisions, view, and broadcast delivery
+    /// positions, then rejoins the network; the membership service
+    /// re-admits it through its heartbeats.
+    ///
+    /// # Panics
+    /// Panics if `site == donor` or either id is out of range.
+    pub fn recover(&mut self, site: SiteId, donor: SiteId) {
+        assert_ne!(site, donor, "a site cannot donate to itself");
+        assert!(site.0 < self.cfg.sites && donor.0 < self.cfg.sites);
+        let snap = self.sim.node(donor).export_snapshot();
+        let now = self.sim.now();
+        self.sim.network_mut().recover(site);
+        self.sim.node_mut(site).import_snapshot(snap, now);
+        if self.cfg.membership {
+            // Restart its tick loop (its old timers died with the crash).
+            self.sim
+                .schedule_timer(now + SimDuration::from_micros(41), site, ReplicaTimer::Tick);
+        }
+    }
+
+    /// The fate of `id` as recorded at its origin.
+    pub fn outcome(&self, id: TxnId) -> TxnOutcome {
+        match self.sim.node(id.origin).state().decided.get(&id) {
+            Some(true) => TxnOutcome::Committed,
+            Some(false) => TxnOutcome::Aborted,
+            None => TxnOutcome::Pending,
+        }
+    }
+
+    /// True iff `id` committed.
+    pub fn is_committed(&self, id: TxnId) -> bool {
+        self.outcome(id) == TxnOutcome::Committed
+    }
+
+    /// The committed value of `key` at `site` (`None` if never written).
+    pub fn committed_value(&self, site: SiteId, key: impl Into<Key>) -> Option<Value> {
+        let key = key.into();
+        let v = self.sim.node(site).state().store.read(&key);
+        v.writer.map(|_| v.value)
+    }
+
+    /// True iff the replicas agree on every key's committed state — under
+    /// partial replication, each key is compared across its holders only.
+    pub fn replicas_converged(&self) -> bool {
+        match self.cfg.placement {
+            Placement::Full => {
+                let first = self.sim.node(SiteId(0)).state();
+                (1..self.cfg.sites).all(|i| {
+                    first
+                        .store
+                        .converged_with(&self.sim.node(SiteId(i)).state().store)
+                })
+            }
+            Placement::Ring { .. } => {
+                // Every key any holder has installed must read identically
+                // at every other holder of that key.
+                for i in 0..self.cfg.sites {
+                    let st = self.sim.node(SiteId(i)).state();
+                    for (key, version) in st.store.iter() {
+                        for h in self.cfg.placement.holders(key, self.cfg.sites) {
+                            let other = self.sim.node(h).state();
+                            if other.store.read(key) != *version {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Metrics merged across all sites.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for i in 0..self.cfg.sites {
+            m.merge(&self.sim.node(SiteId(i)).state().metrics);
+        }
+        m
+    }
+
+    /// Metrics of one site.
+    pub fn site_metrics(&self, site: SiteId) -> &Metrics {
+        &self.sim.node(site).state().metrics
+    }
+
+    /// Total point-to-point messages the network carried.
+    pub fn messages_sent(&self) -> u64 {
+        self.sim.network().messages_sent()
+    }
+
+    /// Direct access to a replica (stores, logs, lock tables).
+    pub fn replica(&self, site: SiteId) -> &ReplicaNode {
+        self.sim.node(site)
+    }
+
+    /// Mutable access to a replica (test setup).
+    pub fn replica_mut(&mut self, site: SiteId) -> &mut ReplicaNode {
+        self.sim.node_mut(site)
+    }
+
+    /// Events processed by the simulator so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Builds the one-copy serialization graph of the whole execution and
+    /// checks it (replica agreement + acyclicity).
+    ///
+    /// # Errors
+    /// Returns the first [`SgViolation`] found.
+    pub fn check_serializability(&self) -> Result<(), SgViolation> {
+        self.check_serializability_among(&self.sites().collect::<Vec<_>>())
+    }
+
+    /// An equivalent serial order of every committed transaction — the
+    /// constructive witness of one-copy serializability.
+    ///
+    /// # Errors
+    /// Returns the first [`SgViolation`] found.
+    pub fn serialization_order(&self) -> Result<Vec<TxnId>, SgViolation> {
+        self.recorder(&self.sites().collect::<Vec<_>>())
+            .serialization_order()
+    }
+
+    /// Like [`Cluster::check_serializability`], restricted to a subset of
+    /// sites (failure experiments check the surviving majority only).
+    ///
+    /// # Errors
+    /// Returns the first [`SgViolation`] found.
+    pub fn check_serializability_among(&self, sites: &[SiteId]) -> Result<(), SgViolation> {
+        self.recorder(sites).check()
+    }
+
+    /// Assembles the execution's history recorder from the surveyed sites.
+    fn recorder(&self, sites: &[SiteId]) -> HistoryRecorder {
+        let mut h = HistoryRecorder::new();
+        let surveyed: std::collections::BTreeSet<SiteId> = sites.iter().copied().collect();
+        for &site in sites {
+            let st = self.sim.node(site).state();
+            for rec in &st.terminations {
+                if rec.committed {
+                    h.record_commit(rec.txn, rec.reads.clone(), rec.writes.clone());
+                }
+            }
+            h.record_site_order(site, &st.store);
+        }
+        // Commits whose origin is outside the surveyed set (e.g. a crashed
+        // site) have no origin-side record; reconstruct them from what the
+        // surveyed replicas know — the decision and the delivered write
+        // set. Their reads happened at the lost origin and impose no
+        // constraints the survivors can check.
+        for &site in sites {
+            let st = self.sim.node(site).state();
+            for (txn, committed) in &st.decided {
+                if *committed && !surveyed.contains(&txn.origin) {
+                    if let Some(entry) = st.remote.get(txn) {
+                        h.record_commit(*txn, Vec::new(), entry.ops.clone());
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_txn(key: &str, v: i64) -> TxnSpec {
+        TxnSpec::new().read(key).write(key, v)
+    }
+
+    /// Every protocol commits a single uncontended transaction and
+    /// replicates its write everywhere.
+    #[test]
+    fn single_txn_commits_on_every_protocol() {
+        for proto in ProtocolKind::ALL {
+            let mut c = Cluster::builder().sites(3).protocol(proto).seed(1).build();
+            let id = c.submit(SiteId(0), write_txn("x", 42));
+            let out = c.run_to_quiescence();
+            assert!(
+                matches!(out, RunOutcome::Quiesced { .. }),
+                "{proto}: did not quiesce"
+            );
+            assert!(c.is_committed(id), "{proto}: txn did not commit");
+            for s in c.sites() {
+                assert_eq!(
+                    c.committed_value(s, "x"),
+                    Some(42),
+                    "{proto}: value missing at {s}"
+                );
+            }
+            assert!(c.replicas_converged(), "{proto}: replicas diverged");
+            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+        }
+    }
+
+    /// Read-only transactions commit locally with no network traffic on
+    /// the broadcast protocols.
+    #[test]
+    fn read_only_is_free_of_messages() {
+        for proto in [
+            ProtocolKind::ReliableBcast,
+            ProtocolKind::CausalBcast,
+            ProtocolKind::AtomicBcast,
+        ] {
+            let mut c = Cluster::builder().sites(5).protocol(proto).seed(2).build();
+            let id = c.submit(SiteId(3), TxnSpec::new().read("a").read("b"));
+            c.run_to_quiescence();
+            assert!(c.is_committed(id), "{proto}");
+            assert_eq!(c.messages_sent(), 0, "{proto}: read-only sent messages");
+        }
+    }
+
+    /// Sequential conflicting updates from different sites all commit and
+    /// converge to the last writer.
+    #[test]
+    fn sequential_updates_converge() {
+        for proto in ProtocolKind::ALL {
+            let mut c = Cluster::builder().sites(4).protocol(proto).seed(3).build();
+            let mut ids = Vec::new();
+            for (i, v) in [(0usize, 10i64), (1, 20), (2, 30)] {
+                // Space submissions out so each commits before the next.
+                let at = SimTime::from_micros(i as u64 * 2_000_000);
+                ids.push(c.submit_at(at, SiteId(i), write_txn("x", v)));
+            }
+            c.run_to_quiescence();
+            for id in &ids {
+                assert!(c.is_committed(*id), "{proto}: {id} aborted");
+            }
+            for s in c.sites() {
+                assert_eq!(c.committed_value(s, "x"), Some(30), "{proto} at {s}");
+            }
+            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+        }
+    }
+
+    /// Concurrent conflicting writers: at most one commits per protocol
+    /// rules, replicas converge, history stays serializable.
+    #[test]
+    fn concurrent_conflicting_writers_stay_serializable() {
+        for proto in ProtocolKind::ALL {
+            let mut c = Cluster::builder().sites(3).protocol(proto).seed(4).build();
+            let a = c.submit_at(SimTime::from_micros(0), SiteId(0), write_txn("x", 1));
+            let b = c.submit_at(SimTime::from_micros(10), SiteId(1), write_txn("x", 2));
+            let out = c.run_to_quiescence();
+            assert!(matches!(out, RunOutcome::Quiesced { .. }), "{proto}");
+            let done = [a, b]
+                .iter()
+                .filter(|t| c.outcome(**t) != TxnOutcome::Pending)
+                .count();
+            assert_eq!(done, 2, "{proto}: transactions left pending");
+            assert!(c.replicas_converged(), "{proto}: replicas diverged");
+            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+        }
+    }
+
+    /// Deterministic: same seed ⇒ same event count, messages, and state.
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut c = Cluster::builder()
+                .sites(4)
+                .protocol(ProtocolKind::CausalBcast)
+                .seed(seed)
+                .build();
+            for i in 0..8u64 {
+                let site = SiteId((i % 4) as usize);
+                c.submit_at(
+                    SimTime::from_micros(i * 100),
+                    site,
+                    write_txn(if i % 2 == 0 { "x" } else { "y" }, i as i64),
+                );
+            }
+            c.run_to_quiescence();
+            (c.events_processed(), c.messages_sent(), c.metrics().commits())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let _ = Cluster::builder().sites(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_submission_panics() {
+        let mut c = Cluster::builder().sites(2).build();
+        c.submit_at(SimTime::from_micros(100), SiteId(0), TxnSpec::new());
+        c.submit_at(SimTime::from_micros(50), SiteId(0), TxnSpec::new());
+    }
+}

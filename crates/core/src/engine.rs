@@ -1,0 +1,424 @@
+//! The replica node: one per site, implementing the simulator's [`Node`]
+//! trait and dispatching between the configured protocol, the membership
+//! service, and the shared site state.
+
+use crate::metrics::AbortReason;
+use crate::payload::{AbcastImpl, ProtocolKind, ReplicaMsg, ReplicaTimer};
+use crate::protocols::{atomic::AtomicProto, causal::CausalProto, p2p::P2pProto, reliable::ReliableProto, Effects};
+use crate::state::{ConflictPolicy, SiteState};
+use bcastdb_broadcast::membership::{MemberEvent, ViewManager};
+use bcastdb_broadcast::msg::expand_dest;
+use bcastdb_sim::{Ctx, Node, SimDuration, SimTime, SiteId};
+use std::collections::BTreeSet;
+
+/// Per-node configuration (derived from the cluster config).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Which protocol this cluster runs.
+    pub protocol: ProtocolKind,
+    /// Atomic-broadcast implementation (atomic protocol only).
+    pub abcast: AbcastImpl,
+    /// Conflict policy between update transactions.
+    pub policy: ConflictPolicy,
+    /// Tick period (timeout checks, causal null messages, membership
+    /// heartbeats).
+    pub tick_every: SimDuration,
+    /// Deadlock timeout of the point-to-point baseline.
+    pub p2p_timeout: SimDuration,
+    /// Whether the causal protocol emits null messages on ticks.
+    pub null_messages: bool,
+    /// Whether the membership service runs (needed only for failure
+    /// experiments; it keeps the simulation from quiescing).
+    pub membership: bool,
+    /// Failure-detector suspicion timeout (when membership is on).
+    pub suspect_after: SimDuration,
+    /// Eager broadcast relaying (loss tolerance for the reliable and
+    /// causal protocols at `O(N²)` message cost).
+    pub relay: bool,
+    /// Per-operation think time (read acquisition and write broadcasts).
+    pub think_time: SimDuration,
+    /// Replica placement.
+    pub placement: crate::placement::Placement,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            protocol: ProtocolKind::ReliableBcast,
+            abcast: AbcastImpl::default(),
+            policy: ConflictPolicy::default(),
+            tick_every: SimDuration::from_millis(5),
+            p2p_timeout: SimDuration::from_millis(500),
+            null_messages: true,
+            membership: false,
+            suspect_after: SimDuration::from_millis(100),
+            relay: false,
+            think_time: SimDuration::ZERO,
+            placement: crate::placement::Placement::Full,
+        }
+    }
+}
+
+/// State-transfer snapshot produced by [`ReplicaNode::export_snapshot`].
+#[derive(Debug, Clone)]
+pub struct ResyncSnapshot {
+    store: bcastdb_db::Store,
+    decided: std::collections::BTreeMap<bcastdb_db::TxnId, bool>,
+    log: bcastdb_db::RedoLog,
+    view: BTreeSet<SiteId>,
+    member_view: Option<bcastdb_broadcast::membership::View>,
+    reliable: Option<Vec<u64>>,
+    causal_clock: Option<bcastdb_broadcast::VectorClock>,
+    atomic: Option<crate::protocols::atomic::AbSnapshot>,
+}
+
+#[derive(Debug)]
+enum Proto {
+    P2p(P2pProto),
+    Reliable(ReliableProto),
+    Causal(CausalProto),
+    Atomic(AtomicProto),
+}
+
+/// One replica of the replicated database.
+#[derive(Debug)]
+pub struct ReplicaNode {
+    st: SiteState,
+    proto: Proto,
+    member: Option<ViewManager>,
+    cfg: NodeConfig,
+    tick_armed: bool,
+}
+
+impl ReplicaNode {
+    /// Creates the replica for site `me` of `n` under `cfg`.
+    pub fn new(me: SiteId, n: usize, cfg: NodeConfig) -> Self {
+        let mut st = SiteState::new(me, n, cfg.policy);
+        let proto = match cfg.protocol {
+            ProtocolKind::PointToPoint => {
+                st.wound_remote = false;
+                st.wound_local_readers = false;
+                Proto::P2p(P2pProto::new(cfg.p2p_timeout))
+            }
+            ProtocolKind::ReliableBcast => {
+                st.resolve_read_deadlocks = true;
+                Proto::Reliable(if cfg.relay {
+                    ReliableProto::new_with_relay(me, n)
+                } else {
+                    ReliableProto::new(me, n)
+                })
+            }
+            ProtocolKind::CausalBcast => {
+                st.wound_remote = false;
+                st.rank_by_delivery = true;
+                let mut p = if cfg.relay {
+                    CausalProto::new_with_relay(me, n)
+                } else {
+                    CausalProto::new(me, n)
+                };
+                p.null_messages = cfg.null_messages;
+                Proto::Causal(p)
+            }
+            ProtocolKind::AtomicBcast => {
+                st.wound_remote = false;
+                Proto::Atomic(AtomicProto::new(me, n, cfg.abcast))
+            }
+        };
+        st.think = cfg.think_time;
+        st.placement = cfg.placement;
+        let member = cfg.membership.then(|| {
+            ViewManager::new(me, n, cfg.tick_every, cfg.suspect_after)
+        });
+        ReplicaNode {
+            st,
+            proto,
+            member,
+            cfg,
+            tick_armed: false,
+        }
+    }
+
+    /// Read access to the shared site state (stores, metrics, decisions).
+    pub fn state(&self) -> &SiteState {
+        &self.st
+    }
+
+    /// Mutable access to the site state (test setup, e.g. seeding stores).
+    pub fn state_mut(&mut self) -> &mut SiteState {
+        &mut self.st
+    }
+
+    /// The installed view's members (full set when membership is off).
+    pub fn view_members(&self) -> BTreeSet<SiteId> {
+        match &self.member {
+            Some(m) => m.view().members.clone(),
+            None => (0..self.st.n).map(SiteId).collect(),
+        }
+    }
+
+    /// True while this site may process transactions (in a majority view).
+    pub fn is_operational(&self) -> bool {
+        self.member.as_ref().map_or(true, |m| m.is_operational())
+    }
+
+    /// Captures everything a recovering replica needs from this one (state
+    /// transfer at a quiet moment): the committed store, decisions, redo
+    /// log, view, and the broadcast engines' delivery positions.
+    pub fn export_snapshot(&self) -> ResyncSnapshot {
+        ResyncSnapshot {
+            store: self.st.store.clone(),
+            decided: self.st.decided.clone(),
+            log: self.st.log.clone(),
+            view: self.view_members(),
+            member_view: self.member.as_ref().map(|m| m.view().clone()),
+            reliable: match &self.proto {
+                Proto::Reliable(p) => Some(p.watermarks()),
+                _ => None,
+            },
+            causal_clock: match &self.proto {
+                Proto::Causal(p) => Some(p.clock()),
+                _ => None,
+            },
+            atomic: match &self.proto {
+                Proto::Atomic(p) => Some(p.snapshot()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Re-initialises this (previously crashed) replica from a donor
+    /// snapshot. Assumes a quiet moment — in-flight transaction state is
+    /// dropped; the transferred store, log, and decisions carry all
+    /// outcomes. Missed broadcasts are *not* redelivered: the engines
+    /// resume past them at the donor's delivery positions.
+    pub fn import_snapshot(&mut self, snap: ResyncSnapshot, now: SimTime) {
+        self.st.store = snap.store;
+        self.st.decided = snap.decided;
+        self.st.log = snap.log;
+        self.st.local.clear();
+        self.st.remote.clear();
+        self.st.locks = bcastdb_db::LockManager::new();
+        match (&mut self.proto, snap.reliable, snap.causal_clock, snap.atomic) {
+            (Proto::Reliable(p), Some(w), _, _) => p.resume(&w, snap.view.clone()),
+            (Proto::Causal(p), _, Some(vc), _) => p.resume(&vc, snap.view.clone()),
+            (Proto::Atomic(p), _, _, Some(s)) => p.resume(&s, snap.view.clone()),
+            (Proto::P2p(p), _, _, _) => p.resume(),
+            _ => {}
+        }
+        if let (Some(m), Some(v)) = (&mut self.member, snap.member_view) {
+            m.resume(v, now);
+        }
+        self.tick_armed = false;
+    }
+
+    fn flush(&mut self, fx: Effects, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
+        for id in fx.pauses {
+            ctx.set_timer(self.cfg.think_time, ReplicaTimer::ReadStep(id));
+        }
+        for id in fx.write_pauses {
+            ctx.set_timer(self.cfg.think_time, ReplicaTimer::WriteStep(id));
+        }
+        for (dest, msg) in fx.sends {
+            let kind = msg.kind();
+            for to in expand_dest(dest, ctx.me(), ctx.n_sites()) {
+                if to == ctx.me() {
+                    continue; // self-deliveries are handled internally
+                }
+                self.st.metrics.counters.incr(kind);
+                ctx.send(to, msg.clone());
+            }
+        }
+    }
+
+    fn arm_tick(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
+        // Ticks are only scheduled while someone needs them: the membership
+        // service (heartbeats), the baseline (timeout checks), or the causal
+        // protocol's null messages. Otherwise an idle cluster quiesces.
+        let proto_wants = match &self.proto {
+            Proto::P2p(_) => self.st.has_undecided(),
+            Proto::Causal(p) => p.needs_ticks(&self.st),
+            // Loss-recovery mode: tick while undecided so gaps get filled.
+            Proto::Reliable(_) => self.cfg.relay && self.st.has_undecided(),
+            Proto::Atomic(_) => false,
+        };
+        let need = self.member.is_some() || proto_wants;
+        if need && !self.tick_armed {
+            self.tick_armed = true;
+            ctx.set_timer(self.cfg.tick_every, ReplicaTimer::Tick);
+        }
+    }
+
+    fn member_tick(&mut self, fx: &mut Effects, now: SimTime) {
+        let Some(m) = &mut self.member else { return };
+        let (events, outbound) = m.tick(now);
+        for ob in outbound {
+            fx.send(ob.dest, ReplicaMsg::Member(ob.wire));
+        }
+        self.apply_member_events(fx, now, events);
+    }
+
+    fn apply_member_events(&mut self, fx: &mut Effects, now: SimTime, events: Vec<MemberEvent>) {
+        for ev in events {
+            match ev {
+                MemberEvent::ViewInstalled(view) => {
+                    let members = view.members;
+                    match &mut self.proto {
+                        Proto::P2p(p) => {
+                            // Baseline: abort in-flight txns from departed
+                            // origins; surviving traffic continues.
+                            let gone: Vec<_> = self
+                                .st
+                                .remote
+                                .keys()
+                                .filter(|t| {
+                                    !members.contains(&t.origin)
+                                        && !self.st.decided.contains_key(t)
+                                })
+                                .copied()
+                                .collect();
+                            for txn in gone {
+                                let mut events = Vec::new();
+                                self.st.apply_remote_abort(
+                                    txn,
+                                    AbortReason::ViewChange,
+                                    now,
+                                    &mut events,
+                                );
+                                p.handle_events(&mut self.st, fx, now, events);
+                            }
+                        }
+                        Proto::Reliable(p) => p.set_view(&mut self.st, fx, now, members),
+                        Proto::Causal(p) => p.set_view(&mut self.st, fx, now, members),
+                        Proto::Atomic(p) => p.set_view(&mut self.st, fx, now, members),
+                    }
+                }
+                MemberEvent::Isolated => {
+                    // Outside every majority view: abort everything pending
+                    // locally; the site blocks until it rejoins.
+                    let pending: Vec<_> = self
+                        .st
+                        .local
+                        .keys()
+                        .copied()
+                        .collect();
+                    for txn in pending {
+                        let mut events = Vec::new();
+                        self.st
+                            .abort_local(txn, AbortReason::ViewChange, now, &mut events);
+                        self.dispatch_events(fx, now, events);
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_events(
+        &mut self,
+        fx: &mut Effects,
+        now: SimTime,
+        events: Vec<crate::state::LocalEvent>,
+    ) {
+        if events.is_empty() {
+            return;
+        }
+        match &mut self.proto {
+            Proto::P2p(p) => p.handle_events(&mut self.st, fx, now, events),
+            Proto::Reliable(p) => p.handle_events(&mut self.st, fx, now, events),
+            Proto::Causal(p) => p.handle_events(&mut self.st, fx, now, events),
+            Proto::Atomic(p) => p.handle_events(&mut self.st, fx, now, events),
+        }
+    }
+}
+
+impl Node for ReplicaNode {
+    type Msg = ReplicaMsg;
+    type Timer = ReplicaTimer;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>, from: SiteId, msg: ReplicaMsg) {
+        let now = ctx.now();
+        let mut fx = Effects::new();
+        if let Some(m) = &mut self.member {
+            m.heard_from(from, now);
+        }
+        match (msg, &mut self.proto) {
+            (ReplicaMsg::R(wire), Proto::Reliable(p)) => {
+                p.on_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::C(wire), Proto::Causal(p)) => {
+                p.on_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::C(wire), Proto::Atomic(p)) => {
+                p.on_causal_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::ASeq(wire), Proto::Atomic(p)) => {
+                p.on_seq_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::AIsis(wire), Proto::Atomic(p)) => {
+                p.on_isis_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::P2p(m), Proto::P2p(p)) => {
+                p.on_msg(&mut self.st, &mut fx, now, from, m)
+            }
+            (ReplicaMsg::CRetrans(wire), Proto::Causal(p)) => {
+                p.on_retrans_wire(&mut self.st, &mut fx, now, from, wire)
+            }
+            (ReplicaMsg::RSync(watermarks), Proto::Reliable(p)) => {
+                p.on_sync(&mut fx, from, &watermarks);
+            }
+            (ReplicaMsg::Member(wire), _) => {
+                if let Some(m) = &mut self.member {
+                    let (events, outbound) = m.on_wire(from, wire, now);
+                    for ob in outbound {
+                        fx.send(ob.dest, ReplicaMsg::Member(ob.wire));
+                    }
+                    self.apply_member_events(&mut fx, now, events);
+                }
+            }
+            _ => {
+                // Message for a protocol this cluster does not run; drop.
+            }
+        }
+        self.flush(fx, ctx);
+        self.arm_tick(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>, tag: ReplicaTimer) {
+        let now = ctx.now();
+        let mut fx = Effects::new();
+        match tag {
+            ReplicaTimer::Submit(spec) => {
+                if self.is_operational() {
+                    let (_, events) = self.st.begin_txn(now, spec);
+                    self.dispatch_events(&mut fx, now, events);
+                }
+            }
+            ReplicaTimer::ReadStep(id) => {
+                let mut events = Vec::new();
+                self.st.advance_reads(id, now, &mut events);
+                self.dispatch_events(&mut fx, now, events);
+            }
+            ReplicaTimer::WriteStep(id) => match &mut self.proto {
+                Proto::Reliable(p) => p.continue_write(&mut self.st, &mut fx, now, id),
+                Proto::Causal(p) => p.continue_write(&mut self.st, &mut fx, now, id),
+                Proto::Atomic(p) => p.continue_write(&mut self.st, &mut fx, now, id),
+                Proto::P2p(_) => {} // the baseline paces writes by its acks
+            },
+            ReplicaTimer::Tick => {
+                self.tick_armed = false;
+                match &mut self.proto {
+                    Proto::P2p(p) => p.on_tick(&mut self.st, &mut fx, now),
+                    Proto::Causal(p) => p.on_tick(&mut self.st, &mut fx, now),
+                    Proto::Reliable(p) => {
+                        if self.cfg.relay && self.st.has_undecided() {
+                            p.on_tick(&mut fx);
+                        }
+                    }
+                    Proto::Atomic(_) => {}
+                }
+                self.member_tick(&mut fx, now);
+            }
+        }
+        self.flush(fx, ctx);
+        self.arm_tick(ctx);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-site protocol metrics.
+
+use bcastdb_sim::trace::{Counters, LatencyStats};
+use bcastdb_sim::SimDuration;
+use std::fmt;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Wounded by an older conflicting transaction (wound-wait).
+    Wounded,
+    /// Lost a causally concurrent write-write conflict (causal protocol's
+    /// early conflict detection).
+    ConcurrentConflict,
+    /// Failed deterministic certification (atomic protocol).
+    Certification,
+    /// A 2PC participant voted no.
+    NegativeVote,
+    /// Commit did not complete within the deadlock/timeout budget
+    /// (point-to-point baseline).
+    Timeout,
+    /// Aborted by a view change (origin crashed or left the view).
+    ViewChange,
+    /// Wait-die policy: a younger requester died instead of waiting.
+    WaitDie,
+}
+
+impl AbortReason {
+    /// Stable counter name for this reason.
+    pub fn counter(self) -> &'static str {
+        match self {
+            AbortReason::Wounded => "abort_wounded",
+            AbortReason::ConcurrentConflict => "abort_concurrent",
+            AbortReason::Certification => "abort_certification",
+            AbortReason::NegativeVote => "abort_negative_vote",
+            AbortReason::Timeout => "abort_timeout",
+            AbortReason::ViewChange => "abort_view_change",
+            AbortReason::WaitDie => "abort_wait_die",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.counter())
+    }
+}
+
+/// Metrics collected at one site (aggregated by the cluster facade).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Named event counters.
+    pub counters: Counters,
+    /// Commit latency of update transactions originated here (submission →
+    /// origin learns commit).
+    pub update_latency: LatencyStats,
+    /// Commit latency of read-only transactions originated here.
+    pub readonly_latency: LatencyStats,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed update transaction with its latency.
+    pub fn commit_update(&mut self, latency: SimDuration) {
+        self.counters.incr("commits_update");
+        self.update_latency.record(latency);
+    }
+
+    /// Records a committed read-only transaction with its latency.
+    pub fn commit_readonly(&mut self, latency: SimDuration) {
+        self.counters.incr("commits_readonly");
+        self.readonly_latency.record(latency);
+    }
+
+    /// Records an abort with its reason.
+    pub fn abort(&mut self, reason: AbortReason) {
+        self.counters.incr("aborts");
+        self.counters.incr(reason.counter());
+    }
+
+    /// Total commits (update + read-only).
+    pub fn commits(&self) -> u64 {
+        self.counters.get("commits_update") + self.counters.get("commits_readonly")
+    }
+
+    /// Total aborts.
+    pub fn aborts(&self) -> u64 {
+        self.counters.get("aborts")
+    }
+
+    /// Abort rate as a fraction of terminated transactions (0 when none).
+    pub fn abort_rate(&self) -> f64 {
+        let done = self.commits() + self.aborts();
+        if done == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / done as f64
+        }
+    }
+
+    /// Merges another site's metrics into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.counters.merge(&other.counters);
+        self.update_latency.merge(&other.update_latency);
+        self.readonly_latency.merge(&other.readonly_latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_abort_counting() {
+        let mut m = Metrics::new();
+        m.commit_update(SimDuration::from_millis(3));
+        m.commit_readonly(SimDuration::from_millis(1));
+        m.abort(AbortReason::Wounded);
+        m.abort(AbortReason::Certification);
+        assert_eq!(m.commits(), 2);
+        assert_eq!(m.aborts(), 2);
+        assert_eq!(m.counters.get("abort_wounded"), 1);
+        assert!((m.abort_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_zero_when_idle() {
+        let m = Metrics::new();
+        assert_eq!(m.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.commit_update(SimDuration::from_millis(2));
+        b.commit_update(SimDuration::from_millis(4));
+        b.abort(AbortReason::Timeout);
+        a.merge(&b);
+        assert_eq!(a.commits(), 2);
+        assert_eq!(a.aborts(), 1);
+        assert_eq!(a.update_latency.count(), 2);
+        assert_eq!(a.update_latency.mean().as_micros(), 3_000);
+    }
+
+    #[test]
+    fn all_reasons_have_distinct_counters() {
+        use AbortReason::*;
+        let reasons = [
+            Wounded,
+            ConcurrentConflict,
+            Certification,
+            NegativeVote,
+            Timeout,
+            ViewChange,
+            WaitDie,
+        ];
+        let names: std::collections::HashSet<&str> =
+            reasons.iter().map(|r| r.counter()).collect();
+        assert_eq!(names.len(), reasons.len());
+    }
+}

@@ -1,0 +1,314 @@
+//! Message and timer types exchanged by the replicas, and the protocol
+//! selector.
+
+use bcastdb_broadcast::atomic::{IsisWire, SeqWire};
+use bcastdb_broadcast::membership::MemberWire;
+use bcastdb_broadcast::{causal, reliable};
+use bcastdb_db::{Key, TxnId, TxnSpec, WriteOp};
+use bcastdb_sim::SiteId;
+
+/// Which of the paper's protocols a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// §2 baseline: point-to-point ROWA with per-operation acknowledgements
+    /// and decentralized 2PC. Subject to distributed deadlock (resolved by
+    /// timeout).
+    PointToPoint,
+    /// §3: write operations over reliable broadcast, decentralized 2PC with
+    /// broadcast votes, wound-wait deadlock prevention.
+    ReliableBcast,
+    /// §4: causal broadcast with implicit positive acknowledgements and
+    /// early detection of concurrent conflicts via vector clocks.
+    CausalBcast,
+    /// §5: causally broadcast writes, atomically broadcast commit requests,
+    /// deterministic certification — no acknowledgements at all.
+    AtomicBcast,
+}
+
+impl ProtocolKind {
+    /// All protocols, in paper order (useful for experiment sweeps).
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::PointToPoint,
+        ProtocolKind::ReliableBcast,
+        ProtocolKind::CausalBcast,
+        ProtocolKind::AtomicBcast,
+    ];
+
+    /// Short stable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::PointToPoint => "p2p-2pc",
+            ProtocolKind::ReliableBcast => "reliable",
+            ProtocolKind::CausalBcast => "causal",
+            ProtocolKind::AtomicBcast => "atomic",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which atomic-broadcast implementation the atomic protocol uses
+/// (ablation A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AbcastImpl {
+    /// Fixed sequencer (site 0): fewest messages, 2 hops.
+    #[default]
+    Sequencer,
+    /// ISIS-style agreed priorities: `3(N-1)` messages, 3 hops.
+    Isis,
+}
+
+/// A transaction's global priority: older (smaller) wins conflicts.
+///
+/// The submission timestamp comes first, so priority order approximates
+/// age order; origin and number break ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnPriority {
+    /// Virtual submission time in microseconds.
+    pub ts: u64,
+    /// Originating site.
+    pub origin: SiteId,
+    /// Per-origin transaction number.
+    pub num: u64,
+}
+
+impl TxnPriority {
+    /// True iff `self` is older (= higher priority) than `other`.
+    pub fn older_than(&self, other: &TxnPriority) -> bool {
+        self < other
+    }
+}
+
+/// Application payloads carried inside the broadcast primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// One write operation of an update transaction (§3/§4: operations are
+    /// broadcast individually; FIFO/causal order puts them before the
+    /// commit request).
+    Write {
+        /// The writing transaction.
+        txn: TxnId,
+        /// Its priority.
+        prio: TxnPriority,
+        /// The operation.
+        op: WriteOp,
+        /// Index of this op within the write set (0-based).
+        index: usize,
+        /// Total number of write ops of the transaction.
+        of: usize,
+    },
+    /// Commit request concluding a transaction's write phase.
+    CommitReq {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Its priority.
+        prio: TxnPriority,
+        /// Number of write operations that precede this request.
+        n_writes: usize,
+        /// Read-set versions observed at the origin (atomic protocol only):
+        /// for each read key, the transaction that wrote the observed
+        /// version. Used for deterministic certification.
+        read_versions: Vec<(Key, Option<TxnId>)>,
+        /// For each written key, the committed version (by writer) current
+        /// at the origin when the commit request was broadcast (atomic
+        /// protocol only).
+        write_versions: Vec<(Key, Option<TxnId>)>,
+    },
+    /// A 2PC vote (reliable protocol): `site`'s verdict on `txn`,
+    /// broadcast to all participants (decentralized 2PC).
+    Vote {
+        /// The voted-on transaction.
+        txn: TxnId,
+        /// The voting site.
+        site: SiteId,
+        /// `true` = ready to commit.
+        yes: bool,
+    },
+    /// Explicit negative acknowledgement (causal protocol): `site` rejects
+    /// `txn`. Positive acknowledgements are implicit in subsequent causal
+    /// traffic.
+    Nack {
+        /// The rejected transaction.
+        txn: TxnId,
+        /// The rejecting site.
+        site: SiteId,
+    },
+    /// Abort decision pushed by the origin (e.g. the transaction was
+    /// wounded at its origin before commitment).
+    AbortDecision {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+    /// Empty message whose only purpose is to carry a vector clock — the
+    /// paper's mitigation for slow implicit acknowledgements on quiet
+    /// sites.
+    Null,
+}
+
+impl Payload {
+    /// The transaction this payload concerns, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            Payload::Write { txn, .. }
+            | Payload::CommitReq { txn, .. }
+            | Payload::Vote { txn, .. }
+            | Payload::Nack { txn, .. }
+            | Payload::AbortDecision { txn } => Some(*txn),
+            Payload::Null => None,
+        }
+    }
+}
+
+/// Point-to-point messages of the §2 baseline (no broadcast layer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum P2pMsg {
+    /// Origin → site: one write operation.
+    Write {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The operation.
+        op: WriteOp,
+        /// Index of the op within the write set.
+        index: usize,
+    },
+    /// Site → origin: write `index` of `txn` has its lock.
+    WriteAck {
+        /// The acknowledged transaction.
+        txn: TxnId,
+        /// Which write op is acknowledged.
+        index: usize,
+    },
+    /// Origin → site: request to commit.
+    CommitReq {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Full write set (sites apply it on commit).
+        writes: Vec<WriteOp>,
+    },
+    /// Site → everyone: decentralized 2PC vote.
+    Vote {
+        /// The voted-on transaction.
+        txn: TxnId,
+        /// The voting site.
+        site: SiteId,
+        /// `true` = ready to commit.
+        yes: bool,
+    },
+    /// Origin → site: abort (deadlock timeout or wound).
+    Abort {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+}
+
+/// The top-level message type of a replica node: the union of every
+/// primitive's wire format plus the baseline's point-to-point messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaMsg {
+    /// Reliable-broadcast wire traffic.
+    R(reliable::Wire<Payload>),
+    /// Causal-broadcast wire traffic.
+    C(causal::Wire<Payload>),
+    /// Sequencer atomic-broadcast wire traffic.
+    ASeq(SeqWire<Payload>),
+    /// ISIS atomic-broadcast wire traffic.
+    AIsis(IsisWire<Payload>),
+    /// Point-to-point baseline traffic.
+    P2p(P2pMsg),
+    /// Membership service traffic.
+    Member(MemberWire),
+    /// Loss-recovery sync: the sender's per-origin reliable-broadcast
+    /// delivery watermarks; the receiver retransmits what the sender lacks.
+    RSync(Vec<u64>),
+    /// A retransmitted causal wire. Processed exactly like [`ReplicaMsg::C`]
+    /// except it never triggers gap-report handling — retransmitted nulls
+    /// carry stale clocks that must not solicit further retransmissions.
+    CRetrans(causal::Wire<Payload>),
+}
+
+impl ReplicaMsg {
+    /// A stable label for traffic-decomposition counters (which kind of
+    /// message this is, counted per point-to-point send).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplicaMsg::R(w) => Self::payload_kind(&w.payload),
+            ReplicaMsg::C(w) => Self::payload_kind(&w.payload),
+            ReplicaMsg::ASeq(_) => "msg_abcast",
+            ReplicaMsg::AIsis(_) => "msg_abcast",
+            ReplicaMsg::P2p(m) => match m {
+                P2pMsg::Write { .. } => "msg_write",
+                P2pMsg::WriteAck { .. } => "msg_write_ack",
+                P2pMsg::CommitReq { .. } => "msg_commit_req",
+                P2pMsg::Vote { .. } => "msg_vote",
+                P2pMsg::Abort { .. } => "msg_abort",
+            },
+            ReplicaMsg::Member(_) => "msg_membership",
+            ReplicaMsg::RSync(_) => "msg_sync",
+            ReplicaMsg::CRetrans(_) => "msg_retrans",
+        }
+    }
+
+    fn payload_kind(p: &Payload) -> &'static str {
+        match p {
+            Payload::Write { .. } => "msg_write",
+            Payload::CommitReq { .. } => "msg_commit_req",
+            Payload::Vote { .. } => "msg_vote",
+            Payload::Nack { .. } => "msg_nack",
+            Payload::AbortDecision { .. } => "msg_abort",
+            Payload::Null => "msg_null",
+        }
+    }
+}
+
+/// Timer tags of a replica node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaTimer {
+    /// A client submits a transaction at this site.
+    Submit(TxnSpec),
+    /// Periodic tick: membership heartbeats, causal-protocol null
+    /// messages, deadlock/timeout checks.
+    Tick,
+    /// Think time elapsed: the local transaction issues its next read.
+    ReadStep(TxnId),
+    /// Think time elapsed: the local transaction broadcasts its next write
+    /// operation (or, after the last one, its commit request).
+    WriteStep(TxnId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_by_age_then_site() {
+        let a = TxnPriority { ts: 5, origin: SiteId(1), num: 1 };
+        let b = TxnPriority { ts: 9, origin: SiteId(0), num: 1 };
+        let c = TxnPriority { ts: 5, origin: SiteId(2), num: 1 };
+        assert!(a.older_than(&b), "earlier timestamp wins");
+        assert!(a.older_than(&c), "site breaks timestamp ties");
+        assert!(!b.older_than(&a));
+    }
+
+    #[test]
+    fn payload_txn_extraction() {
+        let t = TxnId::new(SiteId(0), 1);
+        assert_eq!(Payload::AbortDecision { txn: t }.txn(), Some(t));
+        assert_eq!(Payload::Null.txn(), None);
+    }
+
+    #[test]
+    fn protocol_names_are_stable() {
+        let names: Vec<&str> = ProtocolKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["p2p-2pc", "reliable", "causal", "atomic"]);
+        assert_eq!(ProtocolKind::CausalBcast.to_string(), "causal");
+    }
+
+    #[test]
+    fn abcast_impl_defaults_to_sequencer() {
+        assert_eq!(AbcastImpl::default(), AbcastImpl::Sequencer);
+    }
+}

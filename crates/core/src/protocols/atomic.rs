@@ -1,0 +1,687 @@
+//! §5 — the Atomic Broadcast protocol.
+//!
+//! Write operations are disseminated by **causal broadcast** (cheap), while
+//! commit requests go through **atomic broadcast**: every site delivers
+//! them in the same total order. Because each site applies the same
+//! deterministic **certification** rule to the same sequence, all sites
+//! reach the same verdict with *no acknowledgements at all* — the paper's
+//! headline result.
+//!
+//! Certification: the commit request carries, for every key the transaction
+//! read or wrote, the identity of the committed version current at the
+//! origin when the request was broadcast. A site processing the request at
+//! its slot in the total order commits the transaction iff every one of
+//! those versions is still current — i.e. no transaction that committed
+//! earlier in the total order overwrote them (first-committer-wins on both
+//! read-write and write-write conflicts). Committed write sets are applied
+//! immediately in delivery order; conflicting *local* transactions still in
+//! their read phase are wounded — this is the one protocol in which
+//! read-only transactions can abort, the price of acknowledgement-free
+//! commitment (experiment F5 measures it).
+//!
+//! Commit requests are processed strictly in total order; a request whose
+//! causally-broadcast writes have not all arrived stalls the queue (they
+//! arrive shortly — both primitives run on the same FIFO links).
+
+use crate::metrics::AbortReason;
+use crate::payload::{AbcastImpl, Payload, ReplicaMsg, TxnPriority};
+use crate::protocols::Effects;
+use crate::state::{LocalEvent, SiteState};
+use bcastdb_broadcast::atomic::{
+    AtomicBcast, IsisAbcast, IsisWire, SeqWire, SequencerAbcast, TotalDelivery,
+};
+use bcastdb_broadcast::causal::{self, CausalBcast};
+use bcastdb_db::lock::LockMode;
+use bcastdb_db::sg::ObservedVersion;
+use bcastdb_db::{Key, TxnId};
+use bcastdb_sim::{SimTime, SiteId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Either atomic-broadcast engine, selected by [`AbcastImpl`].
+#[derive(Debug)]
+enum Abcast {
+    Seq(SequencerAbcast<Payload>),
+    Isis(IsisAbcast<Payload>),
+}
+
+#[derive(Debug)]
+enum Work {
+    Event(LocalEvent),
+    CausalDeliver(causal::Delivery<Payload>),
+    TotalDeliver(TotalDelivery<Payload>),
+}
+
+/// A commit request waiting in (or at the head of) the certification queue.
+#[derive(Debug, Clone)]
+struct PendingCert {
+    txn: TxnId,
+    prio: TxnPriority,
+    n_writes: usize,
+    read_versions: Vec<(Key, ObservedVersion)>,
+    write_versions: Vec<(Key, ObservedVersion)>,
+}
+
+/// State-transfer snapshot of the atomic protocol's engines and version
+/// directory.
+#[derive(Debug, Clone)]
+pub struct AbSnapshot {
+    causal: bcastdb_broadcast::VectorClock,
+    seq: Option<u64>,
+    isis: Option<(u64, u64)>,
+    latest_writer: std::collections::BTreeMap<Key, TxnId>,
+}
+
+/// The atomic-broadcast replication protocol at one site.
+#[derive(Debug)]
+pub struct AtomicProto {
+    cb: CausalBcast<Payload>,
+    ab: Abcast,
+    view: BTreeSet<SiteId>,
+    /// Commit requests in total order, certified strictly head-first.
+    cert_queue: VecDeque<PendingCert>,
+    /// Paced write phases: next operation index per local transaction.
+    writing: std::collections::BTreeMap<TxnId, usize>,
+    /// The version directory: last committed writer of every key, updated
+    /// at every certification in total order. Unlike the store (which only
+    /// holds replicated keys), every site maintains the full directory —
+    /// it is what keeps certification deterministic under partial
+    /// replication.
+    latest_writer: std::collections::BTreeMap<Key, TxnId>,
+}
+
+impl AtomicProto {
+    /// Creates the protocol instance for site `me` of `n`, using the given
+    /// atomic-broadcast implementation.
+    pub fn new(me: SiteId, n: usize, imp: AbcastImpl) -> Self {
+        AtomicProto {
+            cb: CausalBcast::new(me, n),
+            ab: match imp {
+                AbcastImpl::Sequencer => Abcast::Seq(SequencerAbcast::new(me, n)),
+                AbcastImpl::Isis => Abcast::Isis(IsisAbcast::new(me, n)),
+            },
+            view: (0..n).map(SiteId).collect(),
+            cert_queue: VecDeque::new(),
+            writing: std::collections::BTreeMap::new(),
+            latest_writer: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Engine snapshots for state transfer: the causal clock plus either
+    /// the sequencer delivery watermark or the ISIS `(lamport, delivered)`
+    /// pair.
+    pub fn snapshot(&self) -> AbSnapshot {
+        let cb = self.cb.clock().clone();
+        let (seq, isis) = match &self.ab {
+            Abcast::Seq(a) => (Some(a.delivered_watermark()), None),
+            Abcast::Isis(a) => (None, Some((a.lamport(), a.delivered_count()))),
+        };
+        AbSnapshot {
+            causal: cb,
+            seq,
+            isis,
+            latest_writer: self.latest_writer.clone(),
+        }
+    }
+
+    /// Resumes a recovered site from a donor's snapshot and view.
+    pub fn resume(&mut self, donor: &AbSnapshot, view: BTreeSet<SiteId>) {
+        self.cb.resume_from(&donor.causal);
+        match (&mut self.ab, donor.seq, donor.isis) {
+            (Abcast::Seq(a), Some(w), _) => a.resume_from(w),
+            (Abcast::Isis(a), _, Some((l, d))) => a.resume_from(l, d),
+            _ => {}
+        }
+        self.latest_writer = donor.latest_writer.clone();
+        self.cert_queue.clear();
+        if let (Abcast::Seq(a), Some(&coord)) = (&mut self.ab, view.iter().next()) {
+            a.set_sequencer(coord);
+        }
+        self.view = view;
+    }
+
+    /// Handles events produced outside the protocol.
+    pub fn handle_events(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        events: Vec<LocalEvent>,
+    ) {
+        let work = events.into_iter().map(Work::Event).collect();
+        self.pump(st, fx, now, work);
+    }
+
+    /// Handles incoming causal-broadcast wire traffic (write operations).
+    pub fn on_causal_wire(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        from: SiteId,
+        wire: causal::Wire<Payload>,
+    ) {
+        let out = self.cb.on_wire(from, wire);
+        let mut work = VecDeque::new();
+        self.route_causal(fx, out, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    /// Handles incoming sequencer-abcast wire traffic.
+    pub fn on_seq_wire(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        from: SiteId,
+        wire: SeqWire<Payload>,
+    ) {
+        let Abcast::Seq(ab) = &mut self.ab else {
+            return; // configured for ISIS; stray message
+        };
+        let out = ab.on_wire(from, wire);
+        let mut work = VecDeque::new();
+        Self::route_total_out(fx, out, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    /// Handles incoming ISIS-abcast wire traffic.
+    pub fn on_isis_wire(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        from: SiteId,
+        wire: IsisWire<Payload>,
+    ) {
+        let Abcast::Isis(ab) = &mut self.ab else {
+            return;
+        };
+        let out = ab.on_wire(from, wire);
+        let mut work = VecDeque::new();
+        Self::route_isis_out(fx, out, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    /// Installs a new view: the sequencer moves to the view coordinator and
+    /// transactions from departed origins abort (their commit request may
+    /// never be ordered).
+    pub fn set_view(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        members: BTreeSet<SiteId>,
+    ) {
+        self.view = members.clone();
+        if let (Abcast::Seq(ab), Some(&coord)) = (&mut self.ab, members.iter().next()) {
+            ab.set_sequencer(coord);
+        }
+        let undecided: Vec<TxnId> = st
+            .remote
+            .keys()
+            .filter(|t| !st.decided.contains_key(t) && !members.contains(&t.origin))
+            .copied()
+            .collect();
+        let mut work = VecDeque::new();
+        for txn in undecided {
+            self.cert_queue.retain(|p| p.txn != txn);
+            let mut events = Vec::new();
+            st.apply_remote_abort(txn, AbortReason::ViewChange, now, &mut events);
+            work.extend(events.into_iter().map(Work::Event));
+        }
+        self.drain_cert_queue(st, now, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    fn route_causal(
+        &mut self,
+        fx: &mut Effects,
+        out: causal::Output<Payload>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for ob in out.outbound {
+            fx.send(ob.dest, ReplicaMsg::C(ob.wire));
+        }
+        for d in out.deliveries {
+            work.push_back(Work::CausalDeliver(d));
+        }
+    }
+
+    fn route_total_out(
+        fx: &mut Effects,
+        out: bcastdb_broadcast::atomic::Output<Payload, SeqWire<Payload>>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for ob in out.outbound {
+            fx.send(ob.dest, ReplicaMsg::ASeq(ob.wire));
+        }
+        for d in out.deliveries {
+            work.push_back(Work::TotalDeliver(d));
+        }
+    }
+
+    fn route_isis_out(
+        fx: &mut Effects,
+        out: bcastdb_broadcast::atomic::Output<Payload, IsisWire<Payload>>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for ob in out.outbound {
+            fx.send(ob.dest, ReplicaMsg::AIsis(ob.wire));
+        }
+        for d in out.deliveries {
+            work.push_back(Work::TotalDeliver(d));
+        }
+    }
+
+    fn abcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
+        match &mut self.ab {
+            Abcast::Seq(ab) => {
+                let (_, out) = ab.broadcast(payload);
+                Self::route_total_out(fx, out, work);
+            }
+            Abcast::Isis(ab) => {
+                let (_, out) = ab.broadcast(payload);
+                Self::route_isis_out(fx, out, work);
+            }
+        }
+    }
+
+    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+        while let Some(item) = work.pop_front() {
+            match item {
+                Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
+                Work::CausalDeliver(d) => self.on_causal_deliver(st, now, d, &mut work),
+                Work::TotalDeliver(d) => self.on_total_deliver(st, now, d, &mut work),
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        ev: LocalEvent,
+        work: &mut VecDeque<Work>,
+    ) {
+        match ev {
+            LocalEvent::ReadsComplete(id) => self.start_write_phase(st, fx, now, id, work),
+            LocalEvent::ReadPaused(id) => fx.pauses.push(id),
+            // No lock-driven machinery in this protocol: applies are
+            // immediate and certification replaces voting.
+            LocalEvent::RemotePrepared(..)
+            | LocalEvent::RemoteDoomed(..)
+            | LocalEvent::RemoteKeyGranted(..) => {}
+        }
+    }
+
+    /// Origin side: release read locks (certification validates the reads
+    /// instead), broadcast write ops causally, then the commit request
+    /// atomically. With think time configured, operations go out one per
+    /// step; the version vectors are snapshotted when the commit request is
+    /// finally broadcast (its slot in the total order validates them).
+    fn start_write_phase(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        id: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
+        if st.local.get(&id).is_none() {
+            return;
+        }
+        // Read locks are released now: from here on the version vectors in
+        // the commit request carry the validation burden.
+        let granted = st.locks.release_all(id);
+        let mut events = Vec::new();
+        st.process_grants(granted, now, &mut events);
+        work.extend(events.into_iter().map(Work::Event));
+
+        if st.think.is_zero() {
+            self.emit_write_step(st, fx, id, usize::MAX, work);
+        } else {
+            self.writing.insert(id, 0);
+            self.emit_write_step(st, fx, id, 1, work);
+            if self.writing.contains_key(&id) {
+                fx.write_pauses.push(id);
+            }
+        }
+    }
+
+    /// Resumes a paced write phase (next step after think time).
+    pub fn continue_write(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, id: TxnId) {
+        if st.decided.contains_key(&id) || st.local.get(&id).is_none() {
+            self.writing.remove(&id);
+            return;
+        }
+        let mut work = VecDeque::new();
+        self.emit_write_step(st, fx, id, 1, &mut work);
+        if self.writing.contains_key(&id) {
+            fx.write_pauses.push(id);
+        }
+        self.pump(st, fx, now, work);
+    }
+
+    /// Broadcasts up to `budget` write operations causally, then the
+    /// atomically-broadcast commit request carrying the version snapshot.
+    fn emit_write_step(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        id: TxnId,
+        budget: usize,
+        work: &mut VecDeque<Work>,
+    ) {
+        let Some(local) = st.local.get(&id) else {
+            self.writing.remove(&id);
+            return;
+        };
+        let prio = local.prio;
+        let writes = local.spec.writes().to_vec();
+        let n_writes = writes.len();
+        let read_versions = local.reads_observed.clone();
+        let start = self.writing.get(&id).copied().unwrap_or(0);
+        let end = start.saturating_add(budget).min(n_writes);
+        for index in start..end {
+            let (_, out) = self.cb.broadcast(Payload::Write {
+                txn: id,
+                prio,
+                op: writes[index].clone(),
+                index,
+                of: n_writes,
+            });
+            self.route_causal(fx, out, work);
+        }
+        if end >= n_writes {
+            self.writing.remove(&id);
+            let write_versions: Vec<(Key, ObservedVersion)> = writes
+                .iter()
+                .map(|w| (w.key.clone(), self.latest_writer.get(&w.key).copied()))
+                .collect();
+            self.abcast(
+                fx,
+                Payload::CommitReq {
+                    txn: id,
+                    prio,
+                    n_writes,
+                    read_versions,
+                    write_versions,
+                },
+                work,
+            );
+        } else {
+            self.writing.insert(id, end);
+        }
+    }
+
+    fn on_causal_deliver(
+        &mut self,
+        st: &mut SiteState,
+        now: SimTime,
+        d: causal::Delivery<Payload>,
+        work: &mut VecDeque<Work>,
+    ) {
+        if let Payload::Write { txn, prio, op, of, .. } = d.payload {
+            if st.decided.contains_key(&txn) {
+                return;
+            }
+            // Record the op only — no locks; applies happen in total order.
+            let entry = st.remote_entry(txn, prio);
+            entry.ops.push(op);
+            entry.n_writes = Some(of);
+            // A commit request stalled on this write set may now proceed.
+            self.drain_cert_queue(st, now, work);
+        }
+    }
+
+    fn on_total_deliver(
+        &mut self,
+        st: &mut SiteState,
+        now: SimTime,
+        d: TotalDelivery<Payload>,
+        work: &mut VecDeque<Work>,
+    ) {
+        if let Payload::CommitReq {
+            txn,
+            prio,
+            n_writes,
+            read_versions,
+            write_versions,
+        } = d.payload
+        {
+            self.cert_queue.push_back(PendingCert {
+                txn,
+                prio,
+                n_writes,
+                read_versions,
+                write_versions,
+            });
+            self.drain_cert_queue(st, now, work);
+        }
+    }
+
+    /// Certifies queued commit requests strictly in total order; stalls
+    /// when the head's write set is not fully delivered yet.
+    fn drain_cert_queue(&mut self, st: &mut SiteState, now: SimTime, work: &mut VecDeque<Work>) {
+        while let Some(head) = self.cert_queue.front() {
+            let txn = head.txn;
+            if st.decided.contains_key(&txn) {
+                self.cert_queue.pop_front();
+                continue;
+            }
+            let ops_ready = head.n_writes == 0
+                || st
+                    .remote
+                    .get(&txn)
+                    .is_some_and(|e| e.ops.len() == head.n_writes);
+            if !ops_ready {
+                return; // stall: causal writes still in flight
+            }
+            let head = self.cert_queue.pop_front().expect("front checked");
+            // Make sure an entry exists even for write-free transactions.
+            let entry = st.remote_entry(txn, head.prio);
+            if entry.n_writes.is_none() {
+                entry.n_writes = Some(0);
+            }
+            let pass = head
+                .read_versions
+                .iter()
+                .chain(head.write_versions.iter())
+                .all(|(key, expected)| self.latest_writer.get(key).copied() == *expected);
+            let mut events = Vec::new();
+            if pass {
+                self.wound_conflicting_readers(st, &head, now, &mut events);
+                // Advance the version directory in total order (all keys,
+                // held here or not).
+                if let Some(entry) = st.remote.get(&txn) {
+                    for op in &entry.ops {
+                        self.latest_writer.insert(op.key.clone(), txn);
+                    }
+                }
+                st.apply_commit(txn, now, &mut events);
+            } else {
+                st.apply_remote_abort(txn, AbortReason::Certification, now, &mut events);
+            }
+            work.extend(events.into_iter().map(Work::Event));
+        }
+    }
+
+    /// Aborts local transactions still holding read locks on keys the
+    /// committing transaction writes. This protocol's applies never wait —
+    /// that is what keeps them acknowledgement-free — so conflicting local
+    /// readers (read-only included) are wounded.
+    fn wound_conflicting_readers(
+        &mut self,
+        st: &mut SiteState,
+        cert: &PendingCert,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        let write_keys: Vec<Key> = st
+            .remote
+            .get(&cert.txn)
+            .map(|e| e.ops.iter().map(|o| o.key.clone()).collect())
+            .unwrap_or_default();
+        for key in write_keys {
+            let holders = st.locks.holders(&key);
+            for (holder, mode) in holders {
+                if mode == LockMode::Shared && holder != cert.txn && st.local.contains_key(&holder)
+                {
+                    st.abort_local(holder, AbortReason::Wounded, now, events);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ConflictPolicy;
+    use bcastdb_broadcast::msg::expand_dest;
+    use bcastdb_db::TxnSpec;
+    use std::collections::VecDeque as Q;
+
+    struct Rig {
+        protos: Vec<AtomicProto>,
+        states: Vec<SiteState>,
+        wires: Q<(SiteId, SiteId, ReplicaMsg)>,
+    }
+
+    impl Rig {
+        fn new(n: usize, imp: AbcastImpl) -> Rig {
+            let mut states: Vec<SiteState> = (0..n)
+                .map(|i| SiteState::new(SiteId(i), n, ConflictPolicy::WoundWait))
+                .collect();
+            for st in states.iter_mut() {
+                st.wound_remote = false;
+            }
+            Rig {
+                protos: (0..n).map(|i| AtomicProto::new(SiteId(i), n, imp)).collect(),
+                states,
+                wires: Q::new(),
+            }
+        }
+
+        fn absorb(&mut self, me: SiteId, fx: Effects) {
+            let n = self.protos.len();
+            for (dest, msg) in fx.sends {
+                for to in expand_dest(dest, me, n) {
+                    if to != me {
+                        self.wires.push_back((me, to, msg.clone()));
+                    }
+                }
+            }
+        }
+
+        fn submit(&mut self, site: usize, ts: u64, spec: TxnSpec) -> TxnId {
+            let mut fx = Effects::new();
+            let (id, events) = self.states[site].begin_txn(SimTime::from_micros(ts), spec);
+            self.protos[site].handle_events(&mut self.states[site], &mut fx, SimTime::ZERO, events);
+            self.absorb(SiteId(site), fx);
+            id
+        }
+
+        fn settle(&mut self) {
+            while let Some((from, to, msg)) = self.wires.pop_front() {
+                let mut fx = Effects::new();
+                let t = SimTime::from_micros(2);
+                match msg {
+                    ReplicaMsg::C(w) => {
+                        self.protos[to.0].on_causal_wire(&mut self.states[to.0], &mut fx, t, from, w)
+                    }
+                    ReplicaMsg::ASeq(w) => {
+                        self.protos[to.0].on_seq_wire(&mut self.states[to.0], &mut fx, t, from, w)
+                    }
+                    ReplicaMsg::AIsis(w) => {
+                        self.protos[to.0].on_isis_wire(&mut self.states[to.0], &mut fx, t, from, w)
+                    }
+                    _ => {}
+                }
+                self.absorb(to, fx);
+            }
+        }
+    }
+
+    #[test]
+    fn commits_with_no_acknowledgement_traffic() {
+        for imp in [AbcastImpl::Sequencer, AbcastImpl::Isis] {
+            let mut rig = Rig::new(3, imp);
+            let id = rig.submit(1, 1, TxnSpec::new().write("x", 4));
+            rig.settle();
+            for (i, st) in rig.states.iter().enumerate() {
+                assert_eq!(st.decided.get(&id), Some(&true), "{imp:?} site {i}");
+                assert_eq!(st.store.value(&"x".into()), 4, "{imp:?} site {i}");
+                // No votes, no NACK bookkeeping.
+                assert!(st.remote[&id].votes_yes.is_empty());
+                assert!(st.remote[&id].my_vote.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn certification_aborts_the_later_conflicting_writer() {
+        let mut rig = Rig::new(3, AbcastImpl::Sequencer);
+        // Both broadcast against the same (initial) version of x without
+        // seeing each other: the one ordered second fails certification.
+        let a = rig.submit(0, 10, TxnSpec::new().write("x", 1));
+        let b = rig.submit(1, 20, TxnSpec::new().write("x", 2));
+        rig.settle();
+        let (winner, loser) = if rig.states[0].decided[&a] { (a, b) } else { (b, a) };
+        for (i, st) in rig.states.iter().enumerate() {
+            assert_eq!(st.decided.get(&winner), Some(&true), "site {i}");
+            assert_eq!(st.decided.get(&loser), Some(&false), "site {i}");
+        }
+        // The abort is a certification failure at the origin.
+        let origin = &rig.states[loser.origin.0];
+        assert_eq!(origin.metrics.counters.get("abort_certification"), 1);
+    }
+
+    #[test]
+    fn stale_read_fails_certification() {
+        let mut rig = Rig::new(3, AbcastImpl::Sequencer);
+        // T reads x (initial version) at site 2 but its commit request is
+        // ordered after W's commit of x: the read-version check fails.
+        let t = {
+            // Begin T's read phase but do not finish the write phase yet:
+            // craft by submitting with a read of x and a write of y, while
+            // W's commit slips in between T's read and T's ordering slot.
+            // With the in-memory rig everything is instantaneous, so order
+            // the wires manually: submit W first but deliver T's commit
+            // request last.
+            let w = rig.submit(0, 10, TxnSpec::new().write("x", 7));
+            let t = rig.submit(2, 20, TxnSpec::new().read("x").write("y", 1));
+            // T read the initial version of x (W not yet delivered), and
+            // its commit request is sequenced after W's.
+            rig.settle();
+            assert!(rig.states[0].decided[&w], "w committed");
+            t
+        };
+        for (i, st) in rig.states.iter().enumerate() {
+            assert_eq!(
+                st.decided.get(&t),
+                Some(&false),
+                "site {i}: stale read must fail certification"
+            );
+        }
+    }
+
+    #[test]
+    fn applies_follow_total_order_on_every_site() {
+        let mut rig = Rig::new(4, AbcastImpl::Isis);
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(rig.submit(i, 10 + i as u64, TxnSpec::new().write(format!("k{i}").as_str(), i as i64)));
+        }
+        rig.settle();
+        // Disjoint keys: all four commit, and every site installed each key
+        // exactly once.
+        for st in &rig.states {
+            for (i, id) in ids.iter().enumerate() {
+                assert_eq!(st.decided.get(id), Some(&true));
+                assert_eq!(st.store.value(&format!("k{i}").into()), i as i64);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The four replication protocols.
+//!
+//! Each protocol module owns the state that is specific to its commitment
+//! scheme and drives the shared per-site state
+//! machinery. Protocols are *sans-IO*: they emit [`Effects`] (destination +
+//! message pairs) that the [`ReplicaNode`](crate::engine::ReplicaNode)
+//! flushes into the simulated network.
+
+pub mod atomic;
+pub mod causal;
+pub mod p2p;
+pub mod reliable;
+
+use crate::payload::ReplicaMsg;
+use bcastdb_broadcast::msg::Dest;
+use bcastdb_sim::SiteId;
+
+/// Outbound messages produced while handling one input.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// `(destination, message)` pairs, in emission order.
+    pub sends: Vec<(Dest, ReplicaMsg)>,
+    /// Local transactions pausing for read-phase think time; the engine
+    /// schedules their next step.
+    pub pauses: Vec<bcastdb_db::TxnId>,
+    /// Local transactions pausing between write-operation broadcasts; the
+    /// engine schedules their next step.
+    pub write_pauses: Vec<bcastdb_db::TxnId>,
+}
+
+impl Effects {
+    /// Creates an empty effect set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a message to every other site.
+    pub fn send_others(&mut self, msg: ReplicaMsg) {
+        self.sends.push((Dest::Others, msg));
+    }
+
+    /// Queues a unicast.
+    pub fn send_to(&mut self, site: SiteId, msg: ReplicaMsg) {
+        self.sends.push((Dest::Site(site), msg));
+    }
+
+    /// Queues a message according to an explicit destination selector.
+    pub fn send(&mut self, dest: Dest, msg: ReplicaMsg) {
+        self.sends.push((dest, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{P2pMsg, ReplicaMsg};
+    use bcastdb_db::TxnId;
+
+    #[test]
+    fn effects_preserve_emission_order() {
+        let mut fx = Effects::new();
+        let t = TxnId::new(SiteId(0), 1);
+        fx.send_others(ReplicaMsg::P2p(P2pMsg::Abort { txn: t }));
+        fx.send_to(SiteId(2), ReplicaMsg::P2p(P2pMsg::Abort { txn: t }));
+        assert_eq!(fx.sends.len(), 2);
+        assert_eq!(fx.sends[0].0, Dest::Others);
+        assert_eq!(fx.sends[1].0, Dest::Site(SiteId(2)));
+    }
+}

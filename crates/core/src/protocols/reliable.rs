@@ -1,0 +1,625 @@
+//! §3 — the Reliable Broadcast protocol.
+//!
+//! Write operations and the commit request are **reliably broadcast**
+//! (FIFO per origin, so the commit request arrives after the writes at
+//! every site). Commitment is **decentralized two-phase commit** \[Ske82\]:
+//! every site broadcasts its YES/NO vote to all sites, and each site
+//! decides locally once it has heard from the whole view.
+//!
+//! Deadlock freedom comes from the priority conflict policy in the shared
+//! state layer (wound-wait by default): conflicting update transactions
+//! never form waiting cycles, and a site that wounds a transaction simply
+//! votes NO — the decentralized votes make site-local wounds globally
+//! visible. Read-only transactions execute entirely locally, never
+//! broadcast anything, and are never aborted.
+
+use crate::metrics::AbortReason;
+use crate::payload::{Payload, ReplicaMsg, TxnPriority};
+use crate::protocols::Effects;
+use crate::state::{LocalEvent, SiteState};
+use bcastdb_broadcast::reliable::{self, ReliableBcast};
+use bcastdb_db::TxnId;
+use bcastdb_sim::{SimTime, SiteId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One unit of pending protocol work.
+#[derive(Debug)]
+enum Work {
+    Event(LocalEvent),
+    Deliver(Payload),
+}
+
+/// The reliable-broadcast replication protocol at one site.
+#[derive(Debug)]
+pub struct ReliableProto {
+    rb: ReliableBcast<Payload>,
+    view: BTreeSet<SiteId>,
+    /// Paced write phases: next operation index per local transaction
+    /// (only used when the cluster configures per-operation think time).
+    writing: std::collections::BTreeMap<TxnId, usize>,
+}
+
+impl ReliableProto {
+    /// Creates the protocol instance for site `me` of `n`.
+    pub fn new(me: SiteId, n: usize) -> Self {
+        ReliableProto {
+            rb: ReliableBcast::new(me, n),
+            view: (0..n).map(SiteId).collect(),
+            writing: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Creates the protocol with eager relaying enabled: the broadcast
+    /// layer re-forwards first copies so agreement survives message loss
+    /// (at `O(N²)` message cost).
+    pub fn new_with_relay(me: SiteId, n: usize) -> Self {
+        ReliableProto {
+            rb: ReliableBcast::new(me, n).with_relay(),
+            view: (0..n).map(SiteId).collect(),
+            writing: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Per-origin reliable-broadcast delivery watermarks (state transfer).
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.rb.watermarks()
+    }
+
+    /// Resumes a recovered site from a donor's watermarks and view.
+    pub fn resume(&mut self, watermarks: &[u64], view: BTreeSet<SiteId>) {
+        self.rb.resume_from(watermarks);
+        self.view = view;
+    }
+
+    /// Handles events produced outside the protocol (submission read
+    /// phases, lock grants after releases).
+    pub fn handle_events(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        events: Vec<LocalEvent>,
+    ) {
+        let work = events.into_iter().map(Work::Event).collect();
+        self.pump(st, fx, now, work);
+    }
+
+    /// Handles an incoming reliable-broadcast wire message.
+    pub fn on_wire(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        from: SiteId,
+        wire: reliable::Wire<Payload>,
+    ) {
+        let out = self.rb.on_wire(from, wire);
+        let mut work = VecDeque::new();
+        self.route(fx, out, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    /// Handles a peer's loss-recovery sync: retransmit archived messages
+    /// the peer is missing (its duplicate suppression absorbs extras).
+    pub fn on_sync(&mut self, fx: &mut Effects, from: SiteId, watermarks: &[u64]) {
+        // Answer only for our own messages: one authoritative responder per
+        // gap keeps lossy-mode recovery traffic linear.
+        let me = self.rb.me();
+        for wire in self.rb.retransmissions_for(watermarks, 32) {
+            if wire.id.origin == me {
+                fx.send_to(from, ReplicaMsg::R(wire));
+            }
+        }
+    }
+
+    /// Periodic tick in loss-recovery (relay) mode: publish our delivery
+    /// watermarks so peers can fill our gaps.
+    pub fn on_tick(&mut self, fx: &mut Effects) {
+        fx.send_others(ReplicaMsg::RSync(self.rb.watermarks()));
+    }
+
+    /// Installs a new view: departed sites are no longer expected to vote,
+    /// and transactions originated by departed sites abort.
+    pub fn set_view(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        members: BTreeSet<SiteId>,
+    ) {
+        self.view = members;
+        let undecided: Vec<TxnId> = st
+            .remote
+            .keys()
+            .filter(|t| !st.decided.contains_key(t))
+            .copied()
+            .collect();
+        let mut work = VecDeque::new();
+        for txn in undecided {
+            if !self.view.contains(&txn.origin) {
+                let mut events = Vec::new();
+                st.apply_remote_abort(txn, AbortReason::ViewChange, now, &mut events);
+                work.extend(events.into_iter().map(Work::Event));
+            } else {
+                self.try_decide(st, now, txn, &mut work);
+            }
+        }
+        self.pump(st, fx, now, work);
+    }
+
+    /// Broadcasts `payload`, routing wire traffic to `fx` and the local
+    /// self-delivery into the work queue.
+    fn bcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
+        let (_, out) = self.rb.broadcast(payload);
+        self.route(fx, out, work);
+    }
+
+    fn route(
+        &mut self,
+        fx: &mut Effects,
+        out: reliable::Output<Payload>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for ob in out.outbound {
+            fx.send(ob.dest, ReplicaMsg::R(ob.wire));
+        }
+        for d in out.deliveries {
+            work.push_back(Work::Deliver(d.payload));
+        }
+    }
+
+    /// Drains the work queue to a fixed point.
+    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+        while let Some(item) = work.pop_front() {
+            match item {
+                Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
+                Work::Deliver(p) => self.on_deliver(st, fx, now, p, &mut work),
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        _now: SimTime,
+        ev: LocalEvent,
+        work: &mut VecDeque<Work>,
+    ) {
+        match ev {
+            LocalEvent::ReadsComplete(id) => self.start_write_phase(st, fx, id, work),
+            LocalEvent::RemotePrepared(id) => self.maybe_vote(st, fx, id, work),
+            LocalEvent::RemoteDoomed(id, _reason) => {
+                if id.origin == st.me {
+                    // Our own transaction was condemned here: abort it
+                    // globally right away rather than waiting for the vote
+                    // round.
+                    self.bcast(fx, Payload::AbortDecision { txn: id }, work);
+                } else {
+                    self.maybe_vote(st, fx, id, work);
+                }
+            }
+            LocalEvent::RemoteKeyGranted(..) => {}
+            LocalEvent::ReadPaused(id) => fx.pauses.push(id),
+        }
+    }
+
+    /// Origin side: reads done → broadcast the write set, then the commit
+    /// request (FIFO delivers them in this order everywhere). With think
+    /// time configured, operations go out one per step instead.
+    fn start_write_phase(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        id: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
+        if st.local.get(&id).is_none() {
+            return; // wounded in the meantime
+        };
+        if st.think.is_zero() {
+            self.emit_write_step(st, fx, id, usize::MAX, work);
+        } else {
+            self.writing.insert(id, 0);
+            self.emit_write_step(st, fx, id, 1, work);
+            if self.writing.contains_key(&id) {
+                fx.write_pauses.push(id);
+            }
+        }
+    }
+
+    /// Resumes a paced write phase (next step after think time).
+    pub fn continue_write(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, id: TxnId) {
+        if st.decided.contains_key(&id) || st.local.get(&id).is_none() {
+            self.writing.remove(&id);
+            return;
+        }
+        let mut work = VecDeque::new();
+        self.emit_write_step(st, fx, id, 1, &mut work);
+        if self.writing.contains_key(&id) {
+            fx.write_pauses.push(id);
+        }
+        self.pump(st, fx, now, work);
+    }
+
+    /// Broadcasts up to `budget` write operations of `id` (usize::MAX = all
+    /// of them plus the commit request in one go), then the commit request
+    /// once the write set is out.
+    fn emit_write_step(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        id: TxnId,
+        budget: usize,
+        work: &mut VecDeque<Work>,
+    ) {
+        let Some(local) = st.local.get(&id) else {
+            self.writing.remove(&id);
+            return;
+        };
+        let prio = local.prio;
+        let writes = local.spec.writes().to_vec();
+        let n_writes = writes.len();
+        let start = self.writing.get(&id).copied().unwrap_or(0);
+        let end = start.saturating_add(budget).min(n_writes);
+        for index in start..end {
+            self.bcast(
+                fx,
+                Payload::Write {
+                    txn: id,
+                    prio,
+                    op: writes[index].clone(),
+                    index,
+                    of: n_writes,
+                },
+                work,
+            );
+        }
+        if end >= n_writes {
+            self.writing.remove(&id);
+            self.bcast(
+                fx,
+                Payload::CommitReq {
+                    txn: id,
+                    prio,
+                    n_writes,
+                    read_versions: Vec::new(),
+                    write_versions: Vec::new(),
+                },
+                work,
+            );
+        } else {
+            self.writing.insert(id, end);
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        payload: Payload,
+        work: &mut VecDeque<Work>,
+    ) {
+        match payload {
+            Payload::Write { txn, prio, op, of, .. } => {
+                let mut events = Vec::new();
+                st.deliver_write_op(txn, prio, op, of, now, &mut events);
+                work.extend(events.into_iter().map(Work::Event));
+            }
+            Payload::CommitReq { txn, prio, n_writes, .. } => {
+                if st.decided.contains_key(&txn) {
+                    return;
+                }
+                let entry = st.remote_entry(txn, prio);
+                entry.commit_req_seen = true;
+                entry.n_writes = Some(n_writes);
+                // THE GATE (mirror of the causal protocol's): conflicts
+                // between this writer and *local readers* must be settled
+                // now, or the site's vote could wait on a reader that —
+                // across sites — waits back on this writer: a distributed
+                // cycle no local waits-for graph can see. Read-only readers
+                // veto the writer (they are never aborted); update readers
+                // still in their read phase are wounded (purely local);
+                // readers that already broadcast are governed by the
+                // priority rules, which votes make globally visible.
+                self.gate_local_readers(st, now, txn, work);
+                self.maybe_vote(st, fx, txn, work);
+            }
+            Payload::Vote { txn, site, yes } => {
+                if st.decided.contains_key(&txn) {
+                    return;
+                }
+                // A vote can arrive before any write op (no cross-origin
+                // ordering); the priority on the entry is fixed up when the
+                // ops arrive.
+                let placeholder = TxnPriority {
+                    ts: u64::MAX,
+                    origin: txn.origin,
+                    num: txn.num,
+                };
+                let entry = st.remote_entry(txn, placeholder);
+                if yes {
+                    entry.votes_yes.insert(site);
+                } else {
+                    entry.votes_no.insert(site);
+                }
+                self.try_decide(st, now, txn, work);
+            }
+            Payload::AbortDecision { txn } => {
+                let reason = st
+                    .remote
+                    .get(&txn)
+                    .and_then(|e| e.doomed)
+                    .unwrap_or(AbortReason::Wounded);
+                let mut events = Vec::new();
+                st.apply_remote_abort(txn, reason, now, &mut events);
+                work.extend(events.into_iter().map(Work::Event));
+            }
+            Payload::Nack { .. } | Payload::Null => {
+                // Not used by this protocol.
+            }
+        }
+    }
+
+    /// Settles conflicts between a commit-requesting writer and local
+    /// readers before this site's vote can be held hostage by them.
+    fn gate_local_readers(
+        &mut self,
+        st: &mut SiteState,
+        now: SimTime,
+        txn: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
+        use bcastdb_db::lock::LockMode;
+        use bcastdb_db::Key;
+        let write_keys: Vec<Key> = st
+            .remote
+            .get(&txn)
+            .map(|e| e.ops.iter().map(|o| o.key.clone()).collect())
+            .unwrap_or_default();
+        let mut veto_writer = false;
+        let mut wound: Vec<TxnId> = Vec::new();
+        for key in &write_keys {
+            for (holder, mode) in st.locks.holders(key) {
+                if holder == txn || mode != LockMode::Shared {
+                    continue;
+                }
+                let Some(local) = st.local.get(&holder) else {
+                    continue;
+                };
+                if local.spec.is_read_only() {
+                    veto_writer = true;
+                } else if matches!(
+                    local.phase,
+                    crate::state::LocalPhase::AcquiringReads { .. }
+                ) {
+                    wound.push(holder);
+                }
+                // Write phase: priority rules + votes handle it.
+            }
+        }
+        for reader in wound {
+            let mut events = Vec::new();
+            st.abort_local(reader, AbortReason::Wounded, now, &mut events);
+            work.extend(events.into_iter().map(Work::Event));
+        }
+        if veto_writer {
+            let mut events = Vec::new();
+            st.doom_remote(txn, AbortReason::Wounded, &mut events);
+            work.extend(events.into_iter().map(Work::Event));
+        }
+    }
+
+    /// Casts this site's vote for `txn` if the commit request has been
+    /// delivered and the outcome here is known.
+    fn maybe_vote(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        txn: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
+        if st.decided.contains_key(&txn) {
+            return;
+        }
+        let Some(entry) = st.remote.get_mut(&txn) else {
+            return;
+        };
+        if !entry.commit_req_seen || entry.my_vote.is_some() {
+            return;
+        }
+        let vote = if entry.doomed.is_some() {
+            Some(false)
+        } else if entry.fully_prepared() {
+            Some(true)
+        } else {
+            None // still waiting for locks or write ops
+        };
+        let Some(yes) = vote else { return };
+        entry.my_vote = Some(yes);
+        if yes {
+            // Older transactions queued behind this now-prepared holder
+            // must not wait for an irrevocable vote: doom them here (we
+            // vote NO for them when their commit requests arrive).
+            let mut events = Vec::new();
+            st.doom_older_waiters_behind(txn, &mut events);
+            work.extend(events.into_iter().map(Work::Event));
+        }
+        let site = st.me;
+        self.bcast(fx, Payload::Vote { txn, site, yes }, work);
+    }
+
+    /// Decides `txn` once the view's votes are in (decentralized 2PC: each
+    /// site decides independently from the same votes).
+    fn try_decide(&mut self, st: &mut SiteState, now: SimTime, txn: TxnId, work: &mut VecDeque<Work>) {
+        if st.decided.contains_key(&txn) {
+            return;
+        }
+        let Some(entry) = st.remote.get(&txn) else {
+            return;
+        };
+        let mut events = Vec::new();
+        if !entry.votes_no.is_empty() {
+            let reason = entry.doomed.unwrap_or(AbortReason::NegativeVote);
+            st.apply_remote_abort(txn, reason, now, &mut events);
+        } else if self.view.iter().all(|s| entry.votes_yes.contains(s)) {
+            st.apply_commit(txn, now, &mut events);
+        }
+        work.extend(events.into_iter().map(Work::Event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ConflictPolicy;
+    use bcastdb_broadcast::msg::expand_dest;
+    use bcastdb_db::TxnSpec;
+    use std::collections::VecDeque as Q;
+
+    /// A transport-free harness: n sites' protocol + state, wires shuttled
+    /// through an in-memory FIFO queue.
+    struct Rig {
+        protos: Vec<ReliableProto>,
+        states: Vec<SiteState>,
+        wires: Q<(SiteId, SiteId, ReplicaMsg)>,
+    }
+
+    impl Rig {
+        fn new(n: usize) -> Rig {
+            let mut states: Vec<SiteState> = (0..n)
+                .map(|i| SiteState::new(SiteId(i), n, ConflictPolicy::WoundWait))
+                .collect();
+            for st in states.iter_mut() {
+                st.resolve_read_deadlocks = true;
+            }
+            Rig {
+                protos: (0..n).map(|i| ReliableProto::new(SiteId(i), n)).collect(),
+                states,
+                wires: Q::new(),
+            }
+        }
+
+        fn absorb(&mut self, me: SiteId, fx: Effects) {
+            let n = self.protos.len();
+            for (dest, msg) in fx.sends {
+                for to in expand_dest(dest, me, n) {
+                    if to != me {
+                        self.wires.push_back((me, to, msg.clone()));
+                    }
+                }
+            }
+        }
+
+        fn submit(&mut self, site: usize, spec: TxnSpec) -> TxnId {
+            let mut fx = Effects::new();
+            let (id, events) = self.states[site].begin_txn(SimTime::from_micros(site as u64), spec);
+            self.protos[site].handle_events(&mut self.states[site], &mut fx, SimTime::ZERO, events);
+            self.absorb(SiteId(site), fx);
+            id
+        }
+
+        /// Delivers queued wires until empty.
+        fn settle(&mut self) {
+            while let Some((from, to, msg)) = self.wires.pop_front() {
+                let mut fx = Effects::new();
+                if let ReplicaMsg::R(wire) = msg {
+                    self.protos[to.0].on_wire(
+                        &mut self.states[to.0],
+                        &mut fx,
+                        SimTime::from_micros(1),
+                        from,
+                        wire,
+                    );
+                }
+                self.absorb(to, fx);
+            }
+        }
+    }
+
+    #[test]
+    fn uncontended_txn_collects_all_votes_and_commits_everywhere() {
+        let mut rig = Rig::new(3);
+        let id = rig.submit(0, TxnSpec::new().write("x", 7));
+        rig.settle();
+        for (i, st) in rig.states.iter().enumerate() {
+            assert_eq!(st.decided.get(&id), Some(&true), "site {i}");
+            assert_eq!(st.store.value(&bcastdb_db::Key::new("x")), 7, "site {i}");
+            let e = &st.remote[&id];
+            assert_eq!(e.votes_yes.len(), 3, "site {i} saw all votes");
+            assert_eq!(e.my_vote, Some(true), "site {i} voted yes");
+        }
+    }
+
+    #[test]
+    fn gate_vetoes_writer_conflicting_with_read_only_reader() {
+        let mut rig = Rig::new(2);
+        // A read-only transaction at site 1 holds S("x") and is blocked on a
+        // second key held exclusively, so it stays live.
+        let blocker = TxnId::new(SiteId(0), 99);
+        let mut events = Vec::new();
+        rig.states[1].deliver_write_op(
+            blocker,
+            crate::payload::TxnPriority { ts: 0, origin: SiteId(0), num: 99 },
+            bcastdb_db::WriteOp { key: "y".into(), value: 1 },
+            2, // claims two writes so it never prepares/terminates
+            SimTime::ZERO,
+            &mut events,
+        );
+        let (ro, ev) = rig.states[1].begin_txn(
+            SimTime::from_micros(5),
+            TxnSpec::new().read("x").read("y"),
+        );
+        assert!(ev.is_empty(), "reader parked on y");
+        // Site 0 submits a writer of "x": its commit request reaches site 1
+        // while the read-only reader holds S(x) → site 1 vetoes (votes NO).
+        let w = rig.submit(0, TxnSpec::new().write("x", 3));
+        rig.settle();
+        assert_eq!(rig.states[0].decided.get(&w), Some(&false), "writer vetoed");
+        assert!(
+            !rig.states[1].decided.contains_key(&ro),
+            "read-only reader survives"
+        );
+        let e = &rig.states[1].remote[&w];
+        assert_eq!(e.my_vote, Some(false), "site 1 cast the NO vote");
+    }
+
+    #[test]
+    fn one_no_vote_aborts_globally() {
+        let mut rig = Rig::new(3);
+        let id = rig.submit(0, TxnSpec::new().write("x", 1));
+        // Pre-doom the transaction at site 2 before its wires arrive.
+        {
+            let st = &mut rig.states[2];
+            let e = st.remote_entry(
+                id,
+                crate::payload::TxnPriority { ts: 0, origin: SiteId(0), num: 1 },
+            );
+            e.doomed = Some(AbortReason::Wounded);
+        }
+        rig.settle();
+        for (i, st) in rig.states.iter().enumerate() {
+            assert_eq!(st.decided.get(&id), Some(&false), "site {i} aborted");
+            assert_eq!(st.store.read(&"x".into()).writer, None, "site {i}: no install");
+        }
+    }
+
+    #[test]
+    fn fifo_guarantees_ops_before_commit_request() {
+        // The commit request never outruns the writes: by the time any site
+        // votes, its write set is complete.
+        let mut rig = Rig::new(4);
+        let id = rig.submit(
+            1,
+            TxnSpec::new().write("a", 1).write("b", 2).write("c", 3),
+        );
+        rig.settle();
+        for st in &rig.states {
+            let e = &st.remote[&id];
+            assert_eq!(e.ops.len(), 3);
+            assert_eq!(e.n_writes, Some(3));
+            assert_eq!(st.decided.get(&id), Some(&true));
+        }
+    }
+}

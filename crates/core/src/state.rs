@@ -1,0 +1,1061 @@
+//! Per-site state shared by all four protocols: the local database
+//! substrate, origin-side transaction driving (read phase, read-only
+//! commit), remote write-lock acquisition with pluggable conflict policy,
+//! and commit/abort application.
+//!
+//! The protocols differ in *how they disseminate writes and decide
+//! commitment*; everything below that line — strict 2PL, read phases at the
+//! origin, applying a decided transaction — is identical and lives here.
+//! State-changing helpers return [`LocalEvent`]s that the protocol layer
+//! reacts to (e.g. "all write locks granted → cast my vote").
+
+use crate::metrics::{AbortReason, Metrics};
+use crate::payload::TxnPriority;
+use crate::placement::Placement;
+use bcastdb_db::lock::{GrantedFromQueue, LockMode, RequestOutcome};
+use bcastdb_db::sg::ObservedVersion;
+use bcastdb_db::{Key, LockManager, RedoLog, Store, TxnId, TxnSpec, WriteOp};
+use bcastdb_sim::{SimTime, SiteId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How write-lock conflicts between update transactions are resolved
+/// (ablation A2). Both are deadlock-free priority schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// Older requester wounds younger holder; younger requester waits.
+    #[default]
+    WoundWait,
+    /// Older requester waits; younger requester dies.
+    WaitDie,
+}
+
+/// Where an origin-side transaction currently is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalPhase {
+    /// Acquiring read locks; `next` is the index of the next read.
+    AcquiringReads {
+        /// Index into the spec's read list.
+        next: usize,
+    },
+    /// All reads done; the protocol owns the transaction now.
+    WritePhase,
+}
+
+/// Origin-side state of a transaction submitted at this site.
+#[derive(Debug, Clone)]
+pub struct LocalTxn {
+    /// Transaction identity.
+    pub id: TxnId,
+    /// Global priority (submission time, origin, number).
+    pub prio: TxnPriority,
+    /// The full specification.
+    pub spec: TxnSpec,
+    /// Virtual submission time (latency measurement baseline).
+    pub submitted: SimTime,
+    /// Current phase.
+    pub phase: LocalPhase,
+    /// Versions observed by completed reads.
+    pub reads_observed: Vec<(Key, ObservedVersion)>,
+}
+
+/// Per-site state of a *broadcast* update transaction (kept at every site,
+/// including the origin).
+#[derive(Debug, Clone)]
+pub struct RemoteTxn {
+    /// Transaction identity.
+    pub id: TxnId,
+    /// Global priority.
+    pub prio: TxnPriority,
+    /// Write operations delivered so far, in index order.
+    pub ops: Vec<WriteOp>,
+    /// Total write count (known from any op's `of` field or the commit
+    /// request).
+    pub n_writes: Option<usize>,
+    /// Keys whose exclusive lock has been granted at this site.
+    pub keys_granted: BTreeSet<Key>,
+    /// Keys requested but still queued.
+    pub keys_waiting: BTreeSet<Key>,
+    /// True once this site delivered the transaction's commit request.
+    pub commit_req_seen: bool,
+    /// Set when this site has condemned the transaction.
+    pub doomed: Option<AbortReason>,
+    /// This site's 2PC vote, once cast (reliable protocol).
+    pub my_vote: Option<bool>,
+    /// YES votes collected (reliable protocol).
+    pub votes_yes: BTreeSet<SiteId>,
+    /// NO votes collected (reliable protocol).
+    pub votes_no: BTreeSet<SiteId>,
+}
+
+impl RemoteTxn {
+    fn new(id: TxnId, prio: TxnPriority) -> Self {
+        RemoteTxn {
+            id,
+            prio,
+            ops: Vec::new(),
+            n_writes: None,
+            keys_granted: BTreeSet::new(),
+            keys_waiting: BTreeSet::new(),
+            commit_req_seen: false,
+            doomed: None,
+            my_vote: None,
+            votes_yes: BTreeSet::new(),
+            votes_no: BTreeSet::new(),
+        }
+    }
+
+    /// True iff the full write set is delivered and every key's exclusive
+    /// lock is held at this site.
+    pub fn fully_prepared(&self) -> bool {
+        match self.n_writes {
+            Some(n) => self.ops.len() == n && self.keys_waiting.is_empty(),
+            None => false,
+        }
+    }
+}
+
+/// Events surfaced to the protocol layer by common state transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalEvent {
+    /// A local transaction finished its read phase and has writes; the
+    /// protocol must start the write phase.
+    ReadsComplete(TxnId),
+    /// A broadcast transaction now holds all its write locks here (and its
+    /// full write set is known).
+    RemotePrepared(TxnId),
+    /// This site condemned a broadcast transaction (wound / wait-die); the
+    /// protocol decides how to communicate it.
+    RemoteDoomed(TxnId, AbortReason),
+    /// A previously queued exclusive lock was granted (the point-to-point
+    /// baseline acknowledges individual writes on this event).
+    RemoteKeyGranted(TxnId, Key),
+    /// A local transaction acquired one read lock and is pausing for its
+    /// per-operation think time; the engine schedules the next step.
+    ReadPaused(TxnId),
+}
+
+/// The result of a terminated transaction, recorded for the cluster facade
+/// and the serializability checker.
+#[derive(Debug, Clone)]
+pub struct TerminationRecord {
+    /// The transaction.
+    pub txn: TxnId,
+    /// `true` = committed.
+    pub committed: bool,
+    /// Observed read versions (origin only; empty elsewhere).
+    pub reads: Vec<(Key, ObservedVersion)>,
+    /// Write set (committed transactions only).
+    pub writes: Vec<WriteOp>,
+}
+
+/// All protocol-independent state of one replica.
+#[derive(Debug)]
+pub struct SiteState {
+    /// This site.
+    pub me: SiteId,
+    /// System size.
+    pub n: usize,
+    /// The replica's copy of the database.
+    pub store: Store,
+    /// Strict-2PL lock table.
+    pub locks: LockManager,
+    /// Redo log.
+    pub log: RedoLog,
+    /// Metrics for this site.
+    pub metrics: Metrics,
+    /// Conflict policy between update transactions.
+    pub policy: ConflictPolicy,
+    /// Whether delivered writes may wound *broadcast* (remote or
+    /// write-phase local) lock holders. True only in the reliable
+    /// protocol, whose votes make site-local wounds globally visible; the
+    /// causal protocol must not wound broadcast transactions site-locally
+    /// because its implicit acknowledgements cannot retract an ack.
+    pub wound_remote: bool,
+    /// Whether delivered writes may wound local update transactions still
+    /// in their read phase (purely local, so always safe); the
+    /// point-to-point baseline disables this and resolves conflicts by
+    /// waiting + timeout, which is exactly how it deadlocks.
+    pub wound_local_readers: bool,
+    /// Whether a blocked local read triggers waits-for-graph deadlock
+    /// detection, dooming an unprepared broadcast transaction in the cycle
+    /// (the reliable protocol publishes the doom as a NO vote). Keeps
+    /// read-only transactions deadlock-free without ever aborting them.
+    pub resolve_read_deadlocks: bool,
+    /// Rank exclusive lock queues by *delivery order* instead of
+    /// transaction age. The causal protocol needs this: its committed
+    /// conflicting transactions are always causally ordered, and causal
+    /// delivery order is the one per-key apply order every site shares
+    /// (it has no vote round to serialize applies). The vote-based
+    /// protocols keep age ranks, which their deadlock prevention relies on.
+    pub rank_by_delivery: bool,
+    /// Per-operation think time in the read phase (zero = reads complete
+    /// within one event, the fastest client model; nonzero spreads a read
+    /// phase over virtual time as the paper's sequential-operation model
+    /// does).
+    pub think: bcastdb_sim::SimDuration,
+    /// Which keys this site stores (defaults to full replication, the
+    /// paper's model). Non-held keys are never locked or installed here.
+    pub placement: Placement,
+    rank_counter: u64,
+    /// Transactions originated here, still running.
+    pub local: BTreeMap<TxnId, LocalTxn>,
+    /// Broadcast transactions being processed here.
+    pub remote: BTreeMap<TxnId, RemoteTxn>,
+    /// Terminated transactions: `true` = committed.
+    pub decided: BTreeMap<TxnId, bool>,
+    /// Origin-side records for the serializability checker.
+    pub terminations: Vec<TerminationRecord>,
+    next_txn_num: u64,
+}
+
+impl SiteState {
+    /// Fresh state for site `me` of an `n`-site system.
+    pub fn new(me: SiteId, n: usize, policy: ConflictPolicy) -> Self {
+        SiteState {
+            me,
+            n,
+            store: Store::new(),
+            locks: LockManager::new(),
+            log: RedoLog::new(),
+            metrics: Metrics::new(),
+            policy,
+            wound_remote: true,
+            wound_local_readers: true,
+            resolve_read_deadlocks: false,
+            rank_by_delivery: false,
+            think: bcastdb_sim::SimDuration::ZERO,
+            placement: Placement::Full,
+            rank_counter: 0,
+            local: BTreeMap::new(),
+            remote: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            terminations: Vec::new(),
+            next_txn_num: 0,
+        }
+    }
+
+    /// True iff this site knows of any transaction that has not terminated.
+    pub fn has_undecided(&self) -> bool {
+        !self.local.is_empty()
+            || self
+                .remote
+                .keys()
+                .any(|t| !self.decided.contains_key(t))
+    }
+
+    // ------------------------------------------------------------------
+    // Origin-side driving
+    // ------------------------------------------------------------------
+
+    /// Registers a freshly submitted transaction and starts its read phase.
+    /// Returns the id plus any events (the read phase may complete
+    /// immediately).
+    pub fn begin_txn(&mut self, now: SimTime, spec: TxnSpec) -> (TxnId, Vec<LocalEvent>) {
+        self.next_txn_num += 1;
+        let id = TxnId::new(self.me, self.next_txn_num);
+        let prio = TxnPriority {
+            ts: now.as_micros(),
+            origin: self.me,
+            num: self.next_txn_num,
+        };
+        self.local.insert(
+            id,
+            LocalTxn {
+                id,
+                prio,
+                spec,
+                submitted: now,
+                phase: LocalPhase::AcquiringReads { next: 0 },
+                reads_observed: Vec::new(),
+            },
+        );
+        let mut events = Vec::new();
+        self.advance_reads(id, now, &mut events);
+        (id, events)
+    }
+
+    /// Pushes a local transaction through its read phase as far as locks
+    /// allow. Emits [`LocalEvent::ReadsComplete`] when an update
+    /// transaction becomes ready for its write phase; commits read-only
+    /// transactions on the spot.
+    pub fn advance_reads(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+        loop {
+            let Some(txn) = self.local.get(&id) else {
+                return; // aborted meanwhile
+            };
+            let LocalPhase::AcquiringReads { next } = txn.phase else {
+                return;
+            };
+            if next >= txn.spec.reads().len() {
+                // Read phase complete: observe the versions now (locks held).
+                let keys: Vec<Key> = txn.spec.reads().to_vec();
+                let observed: Vec<(Key, ObservedVersion)> = keys
+                    .iter()
+                    .map(|k| (k.clone(), self.store.read(k).writer))
+                    .collect();
+                let txn = self.local.get_mut(&id).expect("present");
+                txn.reads_observed = observed;
+                if txn.spec.is_read_only() {
+                    self.commit_read_only(id, now, events);
+                } else {
+                    let txn = self.local.get_mut(&id).expect("present");
+                    txn.phase = LocalPhase::WritePhase;
+                    events.push(LocalEvent::ReadsComplete(id));
+                }
+                return;
+            }
+            let key = txn.spec.reads()[next].clone();
+            match self.locks.request(id, &key, LockMode::Shared) {
+                RequestOutcome::Granted => {
+                    let txn = self.local.get_mut(&id).expect("present");
+                    txn.phase = LocalPhase::AcquiringReads { next: next + 1 };
+                    // With think time, pause after each acquired read (the
+                    // engine schedules the next step); zero think time
+                    // acquires the whole read set in one event.
+                    if !self.think.is_zero() && next + 1 < txn.spec.reads().len() {
+                        events.push(LocalEvent::ReadPaused(id));
+                        return;
+                    }
+                }
+                RequestOutcome::Conflict { .. } => {
+                    // Readers always queue behind queued writers (rank MAX):
+                    // letting an older reader jump a pending write would let
+                    // it observe a state where later transactions are
+                    // applied but earlier ones are not. Priority ranks only
+                    // order writers among themselves.
+                    self.locks.enqueue(id, &key, LockMode::Shared, u64::MAX);
+                    // A blocked read can close a reader/writer waiting
+                    // cycle; break it by dooming an unprepared broadcast
+                    // transaction in the cycle (never a reader).
+                    if self.resolve_read_deadlocks {
+                        self.resolve_deadlock(events);
+                    }
+                    // Mark progress so the grant callback resumes at the
+                    // right index (the queued read is `next`).
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Commits a read-only transaction locally: record, measure, release.
+    fn commit_read_only(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+        let txn = self.local.remove(&id).expect("present");
+        let latency = now.saturating_since(txn.submitted);
+        self.metrics.commit_readonly(latency);
+        self.decided.insert(id, true);
+        self.terminations.push(TerminationRecord {
+            txn: id,
+            committed: true,
+            reads: txn.reads_observed,
+            writes: Vec::new(),
+        });
+        let granted = self.locks.release_all(id);
+        self.process_grants(granted, now, events);
+    }
+
+    /// Aborts a transaction originated here. Safe in any phase; releases
+    /// its locks and records metrics.
+    pub fn abort_local(
+        &mut self,
+        id: TxnId,
+        reason: AbortReason,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        let Some(gone) = self.local.remove(&id) else {
+            return; // already gone
+        };
+        self.metrics.abort(reason);
+        if gone.spec.is_read_only() {
+            // Only the atomic protocol ever does this (the price of
+            // acknowledgement-free commitment); tracked separately so the
+            // read-only experiments can report it.
+            self.metrics.counters.incr("aborts_readonly");
+        }
+        self.decided.insert(id, false);
+        self.log.log_abort(id);
+        self.terminations.push(TerminationRecord {
+            txn: id,
+            committed: false,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        });
+        let granted = self.locks.release_all(id);
+        self.process_grants(granted, now, events);
+    }
+
+    // ------------------------------------------------------------------
+    // Remote (broadcast) transaction processing
+    // ------------------------------------------------------------------
+
+    /// Returns (creating if needed) the remote entry for `id`. A smaller
+    /// (older) priority refines any placeholder recorded earlier — votes
+    /// can arrive before the write ops that carry the real priority.
+    pub fn remote_entry(&mut self, id: TxnId, prio: TxnPriority) -> &mut RemoteTxn {
+        let e = self
+            .remote
+            .entry(id)
+            .or_insert_with(|| RemoteTxn::new(id, prio));
+        if prio < e.prio {
+            e.prio = prio;
+        }
+        e
+    }
+
+    /// Handles a delivered write operation: records it and tries to acquire
+    /// its exclusive lock under the configured conflict policy.
+    ///
+    /// Emits [`LocalEvent::RemotePrepared`] when this grant completes the
+    /// transaction's lock set, and [`LocalEvent::RemoteDoomed`] for every
+    /// transaction condemned in the process.
+    pub fn deliver_write_op(
+        &mut self,
+        id: TxnId,
+        prio: TxnPriority,
+        op: WriteOp,
+        of: usize,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        if self.decided.contains_key(&id) {
+            return; // already terminated (e.g. wounded before this op arrived)
+        }
+        let entry = self.remote_entry(id, prio);
+        entry.ops.push(op.clone());
+        entry.n_writes = Some(of);
+        if entry.doomed.is_some() {
+            return; // no point locking for a condemned transaction
+        }
+        let key = op.key;
+        if !self.placement.is_holder(self.me, &key, self.n) {
+            // Not a replica of this key: record the op (write-set
+            // knowledge) but take no lock and never install it.
+            self.check_prepared(id, events);
+            return;
+        }
+        let already = {
+            let entry = self.remote.get(&id).expect("present");
+            entry.keys_granted.contains(&key) || entry.keys_waiting.contains(&key)
+        };
+        if !already {
+            self.acquire_write_lock(id, prio, &key, now, events);
+        }
+        self.check_prepared(id, events);
+    }
+
+    /// Attempts to take the exclusive lock on `key` for broadcast
+    /// transaction `id`, applying the conflict policy against current
+    /// holders.
+    fn acquire_write_lock(
+        &mut self,
+        id: TxnId,
+        prio: TxnPriority,
+        key: &Key,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        loop {
+            match self.locks.request(id, key, LockMode::Exclusive) {
+                RequestOutcome::Granted => {
+                    let entry = self.remote.get_mut(&id).expect("present");
+                    entry.keys_granted.insert(key.clone());
+                    return;
+                }
+                RequestOutcome::Conflict { holders } => {
+                    let mut wounded_someone = false;
+                    for holder in holders {
+                        if holder == id {
+                            continue;
+                        }
+                        match self.classify_holder(holder) {
+                            HolderKind::ReadOnlyLocal => {
+                                // Writers wait for read-only transactions —
+                                // the paper guarantees they never abort.
+                            }
+                            HolderKind::UpdateLocalReadPhase => {
+                                if !self.wound_local_readers {
+                                    continue; // wait (baseline: may deadlock)
+                                }
+                                let holder_prio = self.local[&holder].prio;
+                                if self.should_wound(prio, holder_prio) {
+                                    self.abort_local(holder, AbortReason::Wounded, now, events);
+                                    wounded_someone = true;
+                                } else if self.policy == ConflictPolicy::WaitDie
+                                    && !prio.older_than(&holder_prio)
+                                {
+                                    self.doom_remote(id, AbortReason::WaitDie, events);
+                                    return;
+                                }
+                            }
+                            HolderKind::RemoteUndecided => {
+                                if !self.wound_remote {
+                                    continue; // wait; ordered conflicts queue
+                                }
+                                // A local transaction in its write phase may
+                                // hold read locks before its own broadcast
+                                // comes back; materialize its remote entry so
+                                // dooming it has somewhere to land.
+                                if !self.remote.contains_key(&holder) {
+                                    let Some(lp) =
+                                        self.local.get(&holder).map(|l| l.prio)
+                                    else {
+                                        continue; // unknown holder: just wait
+                                    };
+                                    self.remote_entry(holder, lp);
+                                }
+                                let hp = self.remote[&holder].prio;
+                                let holder_voted =
+                                    self.remote[&holder].my_vote == Some(true);
+                                if holder_voted {
+                                    // A locally-prepared holder (YES vote
+                                    // cast) can no longer be wounded — the
+                                    // vote cannot be retracted. An *older*
+                                    // requester must not wait either (two
+                                    // mutually-prepared transactions would
+                                    // deadlock), so the requester is doomed
+                                    // instead: this site votes NO for it.
+                                    //
+                                    // Under wound-wait a *younger* requester
+                                    // may wait: every wait edge then points
+                                    // from younger to older and no cycle can
+                                    // close. Under wait-die the normal edges
+                                    // point the other way (older waits for
+                                    // younger), so mixing in younger-waits-
+                                    // for-prepared edges breaks the age
+                                    // argument — there the requester dies
+                                    // regardless of age.
+                                    if prio.older_than(&hp)
+                                        || self.policy == ConflictPolicy::WaitDie
+                                    {
+                                        self.doom_remote(id, AbortReason::Wounded, events);
+                                        return;
+                                    }
+                                    // Younger requester waits (wound-wait).
+                                } else if self.should_wound(prio, hp) {
+                                    self.doom_remote(holder, AbortReason::Wounded, events);
+                                    // Holder keeps its locks until its abort
+                                    // decision; we queue behind it.
+                                } else if self.policy == ConflictPolicy::WaitDie
+                                    && !prio.older_than(&hp)
+                                {
+                                    self.doom_remote(id, AbortReason::WaitDie, events);
+                                    return;
+                                }
+                            }
+                            HolderKind::Terminated => {
+                                // Lock about to be released; just queue.
+                            }
+                        }
+                    }
+                    if wounded_someone {
+                        // A wound released locks synchronously; retry the
+                        // request before queueing.
+                        continue;
+                    }
+                    let rank = if self.rank_by_delivery {
+                        self.rank_counter += 1;
+                        self.rank_counter
+                    } else {
+                        prio.ts
+                    };
+                    self.locks.enqueue(id, key, LockMode::Exclusive, rank);
+                    let entry = self.remote.get_mut(&id).expect("present");
+                    entry.keys_waiting.insert(key.clone());
+                    // This enqueue may close a waiting cycle through local
+                    // readers (which are never wounded); break it now.
+                    if self.resolve_read_deadlocks {
+                        self.resolve_deadlock(events);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Breaks a local waits-for cycle, if one exists, by dooming the first
+    /// unprepared broadcast transaction in it. Prepared (voted) holders and
+    /// readers are never victims: prepared transactions terminate on their
+    /// own, and the paper guarantees read-only transactions never abort.
+    fn resolve_deadlock(&mut self, events: &mut Vec<LocalEvent>) {
+        let Some(cycle) = self.locks.find_deadlock() else {
+            return;
+        };
+        let mut candidates: Vec<TxnId> = cycle
+            .into_iter()
+            .filter(|t| {
+                !self.decided.contains_key(t)
+                    && self
+                        .remote
+                        .get(t)
+                        .is_some_and(|e| e.my_vote.is_none() && e.doomed.is_none())
+            })
+            .collect();
+        candidates.sort();
+        if let Some(&victim) = candidates.first() {
+            self.doom_remote(victim, AbortReason::Wounded, events);
+        }
+    }
+
+    /// Called when `id` becomes locally prepared (its YES vote is about to
+    /// go out): any *older* broadcast transaction queued behind its locks
+    /// would be waiting on a vote that can no longer be retracted — the
+    /// forbidden older-waits-for-prepared configuration. Doom those waiters
+    /// now (this site votes NO for them). Under wound-wait the older
+    /// requester could never have queued behind an unvoted younger holder;
+    /// under wait-die it legally does, so this hook is what keeps the
+    /// prepared rule airtight for both policies.
+    pub fn doom_older_waiters_behind(&mut self, id: TxnId, events: &mut Vec<LocalEvent>) {
+        let Some(entry) = self.remote.get(&id) else {
+            return;
+        };
+        let hp = entry.prio;
+        // Every lock the voter holds counts — including the shared locks
+        // protecting its own reads at its origin: an older writer queued
+        // behind one of those is just as stuck as one behind an exclusive
+        // lock.
+        let keys: Vec<Key> = self.locks.locks_of(id).into_iter().map(|(k, _)| k).collect();
+        for k in keys {
+            for (w, mode) in self.locks.queued(&k) {
+                if mode != LockMode::Exclusive || w == id {
+                    continue;
+                }
+                let doomable = self.remote.get(&w).is_some_and(|we| {
+                    we.prio.older_than(&hp) && we.doomed.is_none() && we.my_vote.is_none()
+                }) && !self.decided.contains_key(&w);
+                if doomable {
+                    self.doom_remote(w, AbortReason::Wounded, events);
+                }
+            }
+        }
+    }
+
+    fn should_wound(&self, requester: TxnPriority, holder: TxnPriority) -> bool {
+        self.policy == ConflictPolicy::WoundWait && requester.older_than(&holder)
+    }
+
+    /// Condemns a broadcast transaction at this site.
+    pub fn doom_remote(&mut self, id: TxnId, reason: AbortReason, events: &mut Vec<LocalEvent>) {
+        let Some(entry) = self.remote.get_mut(&id) else {
+            return;
+        };
+        if entry.doomed.is_none() && !self.decided.contains_key(&id) {
+            entry.doomed = Some(reason);
+            events.push(LocalEvent::RemoteDoomed(id, reason));
+        }
+    }
+
+    fn classify_holder(&self, holder: TxnId) -> HolderKind {
+        if self.decided.contains_key(&holder) {
+            return HolderKind::Terminated;
+        }
+        if let Some(l) = self.local.get(&holder) {
+            if l.spec.is_read_only() {
+                return HolderKind::ReadOnlyLocal;
+            }
+            if matches!(l.phase, LocalPhase::AcquiringReads { .. }) {
+                return HolderKind::UpdateLocalReadPhase;
+            }
+            // Write phase: the remote entry (same id) speaks for it.
+        }
+        if self.remote.contains_key(&holder) {
+            return HolderKind::RemoteUndecided;
+        }
+        // A local update transaction whose write phase has started but whose
+        // own broadcast has not come back yet: treat as remote-undecided
+        // semantics with its local priority.
+        HolderKind::RemoteUndecided
+    }
+
+    /// Emits [`LocalEvent::RemotePrepared`] if `id` just became fully
+    /// prepared.
+    pub fn check_prepared(&self, id: TxnId, events: &mut Vec<LocalEvent>) {
+        if let Some(entry) = self.remote.get(&id) {
+            if entry.doomed.is_none() && entry.fully_prepared() {
+                events.push(LocalEvent::RemotePrepared(id));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Termination
+    // ------------------------------------------------------------------
+
+    /// Applies the commit of broadcast transaction `id` at this site:
+    /// installs the writes, logs, records origin-side bookkeeping, and
+    /// releases locks.
+    ///
+    /// # Panics
+    /// Panics if the full write set has not been delivered.
+    pub fn apply_commit(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+        if self.decided.contains_key(&id) {
+            return;
+        }
+        let entry = self.remote.get(&id).expect("commit of unknown transaction");
+        assert_eq!(
+            Some(entry.ops.len()),
+            entry.n_writes,
+            "commit applied before full write set delivered"
+        );
+        let writes = entry.ops.clone();
+        let held: Vec<WriteOp> = writes
+            .iter()
+            .filter(|w| self.placement.is_holder(self.me, &w.key, self.n))
+            .cloned()
+            .collect();
+        self.store.apply(id, &held);
+        self.log.log_commit(id, held);
+        self.decided.insert(id, true);
+
+        // Origin side: latency + read observations for the checker.
+        if let Some(local) = self.local.remove(&id) {
+            let latency = now.saturating_since(local.submitted);
+            self.metrics.commit_update(latency);
+            self.terminations.push(TerminationRecord {
+                txn: id,
+                committed: true,
+                reads: local.reads_observed,
+                writes,
+            });
+        }
+
+        let granted = self.locks.release_all(id);
+        self.process_grants(granted, now, events);
+    }
+
+    /// Applies the abort of broadcast transaction `id` at this site.
+    pub fn apply_remote_abort(
+        &mut self,
+        id: TxnId,
+        reason: AbortReason,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        if self.decided.contains_key(&id) {
+            return;
+        }
+        self.decided.insert(id, false);
+        self.log.log_abort(id);
+        if self.local.remove(&id).is_some() {
+            // Origin records the abort (one metrics entry per transaction,
+            // at its origin only).
+            self.metrics.abort(reason);
+            self.terminations.push(TerminationRecord {
+                txn: id,
+                committed: false,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            });
+        }
+        let granted = self.locks.release_all(id);
+        self.process_grants(granted, now, events);
+    }
+
+    /// Routes queue grants produced by a lock release: read grants resume
+    /// local read phases, write grants advance remote transactions.
+    pub fn process_grants(
+        &mut self,
+        granted: Vec<GrantedFromQueue>,
+        now: SimTime,
+        events: &mut Vec<LocalEvent>,
+    ) {
+        for g in granted {
+            match g.mode {
+                LockMode::Shared => {
+                    if let Some(txn) = self.local.get_mut(&g.txn) {
+                        if let LocalPhase::AcquiringReads { next } = txn.phase {
+                            // The queued read is `next`; it is now granted.
+                            txn.phase = LocalPhase::AcquiringReads { next: next + 1 };
+                            self.advance_reads(g.txn, now, events);
+                        }
+                    }
+                }
+                LockMode::Exclusive => {
+                    if let Some(entry) = self.remote.get_mut(&g.txn) {
+                        entry.keys_waiting.remove(&g.key);
+                        entry.keys_granted.insert(g.key.clone());
+                        events.push(LocalEvent::RemoteKeyGranted(g.txn, g.key.clone()));
+                        self.check_prepared(g.txn, events);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HolderKind {
+    ReadOnlyLocal,
+    UpdateLocalReadPhase,
+    RemoteUndecided,
+    Terminated,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> SiteState {
+        SiteState::new(SiteId(0), 3, ConflictPolicy::WoundWait)
+    }
+
+    fn prio(ts: u64, site: usize, num: u64) -> TxnPriority {
+        TxnPriority {
+            ts,
+            origin: SiteId(site),
+            num,
+        }
+    }
+
+    fn wop(key: &str, v: i64) -> WriteOp {
+        WriteOp {
+            key: Key::new(key),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn read_only_txn_commits_immediately_when_unblocked() {
+        let mut st = state();
+        let (id, events) = st.begin_txn(SimTime::from_micros(5), TxnSpec::new().read("x"));
+        assert!(events.is_empty(), "read-only commits without events");
+        assert_eq!(st.decided.get(&id), Some(&true));
+        assert_eq!(st.metrics.commits(), 1);
+        assert!(st.local.is_empty());
+    }
+
+    #[test]
+    fn update_txn_signals_reads_complete() {
+        let mut st = state();
+        let (id, events) =
+            st.begin_txn(SimTime::ZERO, TxnSpec::new().read("x").write("y", 1));
+        assert_eq!(events, vec![LocalEvent::ReadsComplete(id)]);
+        assert_eq!(st.local[&id].phase, LocalPhase::WritePhase);
+        assert_eq!(st.local[&id].reads_observed.len(), 1);
+    }
+
+    #[test]
+    fn empty_read_set_goes_straight_to_write_phase() {
+        let mut st = state();
+        let (id, events) = st.begin_txn(SimTime::ZERO, TxnSpec::new().write("y", 1));
+        assert_eq!(events, vec![LocalEvent::ReadsComplete(id)]);
+    }
+
+    #[test]
+    fn delivered_write_op_prepares_remote_txn() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 5), 1, SimTime::ZERO, &mut events);
+        assert_eq!(events, vec![LocalEvent::RemotePrepared(t)]);
+        assert!(st.remote[&t].fully_prepared());
+    }
+
+    #[test]
+    fn multi_op_txn_prepares_after_last_op() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 5), 2, SimTime::ZERO, &mut events);
+        assert!(events.is_empty());
+        st.deliver_write_op(t, prio(1, 1, 1), wop("y", 6), 2, SimTime::ZERO, &mut events);
+        assert_eq!(events, vec![LocalEvent::RemotePrepared(t)]);
+    }
+
+    #[test]
+    fn writer_waits_for_read_only_reader() {
+        let mut st = state();
+        // A long read-only transaction holding "x": block it behind an
+        // unrelated queue so it stays active... simplest: a read-only txn
+        // with two reads where the second is blocked.
+        let t_w = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        // Pre-hold x with an exclusive remote lock so the reader queues.
+        st.deliver_write_op(t_w, prio(1, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        // Reader arrives, queues on x.
+        let (ro, ev) = st.begin_txn(SimTime::from_micros(2), TxnSpec::new().read("x"));
+        assert!(ev.is_empty());
+        assert!(!st.decided.contains_key(&ro), "reader waits");
+        // Writer commits; reader resumes and commits.
+        events.clear();
+        st.apply_commit(t_w, SimTime::from_micros(9), &mut events);
+        assert_eq!(st.decided.get(&ro), Some(&true));
+        assert_eq!(st.store.value(&Key::new("x")), 1);
+    }
+
+    #[test]
+    fn older_writer_wounds_younger_local_reader() {
+        let mut st = state();
+        // Pin "y" with a remote exclusive lock so the local reader stays in
+        // its read phase: it gets S on "x", then queues on "y".
+        let blocker = TxnId::new(SiteId(2), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(blocker, prio(0, 2, 1), wop("y", 0), 1, SimTime::ZERO, &mut events);
+        let (reader, ev) = st.begin_txn(
+            SimTime::from_micros(100),
+            TxnSpec::new().read("x").read("y").write("z", 1),
+        );
+        assert!(ev.is_empty(), "reader blocked mid read phase");
+        // An older remote write on x arrives and wounds the reader.
+        let t_w = TxnId::new(SiteId(1), 1);
+        events.clear();
+        st.deliver_write_op(t_w, prio(1, 1, 1), wop("x", 9), 1, SimTime::from_micros(101), &mut events);
+        assert!(events.contains(&LocalEvent::RemotePrepared(t_w)), "wound freed the lock");
+        assert_eq!(st.decided.get(&reader), Some(&false), "reader wounded");
+        assert_eq!(st.metrics.counters.get("abort_wounded"), 1);
+    }
+
+    #[test]
+    fn younger_writer_waits_for_older_local_reader() {
+        let mut st = state();
+        let (reader, _) = st.begin_txn(
+            SimTime::from_micros(1),
+            TxnSpec::new().read("x").write("z", 1),
+        );
+        let t_w = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t_w, prio(500, 1, 1), wop("x", 9), 1, SimTime::from_micros(501), &mut events);
+        assert!(events.is_empty(), "younger writer queues");
+        assert!(!st.decided.contains_key(&reader));
+        assert!(st.remote[&t_w].keys_waiting.contains(&Key::new("x")));
+    }
+
+    #[test]
+    fn older_remote_wounds_younger_remote_holder() {
+        let mut st = state();
+        let young = TxnId::new(SiteId(1), 1);
+        let old = TxnId::new(SiteId(2), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        events.clear();
+        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        assert!(events.contains(&LocalEvent::RemoteDoomed(young, AbortReason::Wounded)));
+        // Old queues behind the doomed holder until its abort is applied.
+        assert!(st.remote[&old].keys_waiting.contains(&Key::new("x")));
+        events.clear();
+        st.apply_remote_abort(young, AbortReason::Wounded, SimTime::ZERO, &mut events);
+        assert!(events.contains(&LocalEvent::RemotePrepared(old)));
+    }
+
+    #[test]
+    fn prepared_voted_holder_is_never_wounded() {
+        let mut st = state();
+        let young = TxnId::new(SiteId(1), 1);
+        let old = TxnId::new(SiteId(2), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.remote.get_mut(&young).unwrap().my_vote = Some(true);
+        events.clear();
+        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, LocalEvent::RemoteDoomed(t, _) if *t == young)),
+            "a locally-prepared transaction must not be wounded"
+        );
+        // Instead the older requester is doomed at this site — the only
+        // deadlock-free option once the holder's YES vote is out.
+        assert!(events.contains(&LocalEvent::RemoteDoomed(old, AbortReason::Wounded)));
+    }
+
+    #[test]
+    fn wait_die_kills_younger_requester() {
+        let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WaitDie);
+        let old = TxnId::new(SiteId(1), 1);
+        let young = TxnId::new(SiteId(2), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(old, prio(1, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        events.clear();
+        st.deliver_write_op(young, prio(100, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        assert!(events.contains(&LocalEvent::RemoteDoomed(young, AbortReason::WaitDie)));
+    }
+
+    #[test]
+    fn wait_die_lets_older_requester_wait() {
+        let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WaitDie);
+        let young = TxnId::new(SiteId(1), 1);
+        let old = TxnId::new(SiteId(2), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        events.clear();
+        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        assert!(events.is_empty(), "older requester waits under wait-die");
+        assert!(st.remote[&old].keys_waiting.contains(&Key::new("x")));
+    }
+
+    #[test]
+    fn apply_commit_installs_and_releases() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
+        events.clear();
+        st.apply_commit(t, SimTime::from_micros(10), &mut events);
+        assert_eq!(st.store.value(&Key::new("x")), 7);
+        assert_eq!(st.decided.get(&t), Some(&true));
+        assert_eq!(st.locks.locks_of(t), vec![]);
+        assert_eq!(st.log.committed(), vec![t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full write set")]
+    fn commit_before_full_write_set_panics() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 2, SimTime::ZERO, &mut events);
+        st.apply_commit(t, SimTime::ZERO, &mut events);
+    }
+
+    #[test]
+    fn duplicate_decisions_are_idempotent() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
+        st.apply_commit(t, SimTime::ZERO, &mut events);
+        st.apply_commit(t, SimTime::ZERO, &mut events);
+        st.apply_remote_abort(t, AbortReason::NegativeVote, SimTime::ZERO, &mut events);
+        assert_eq!(st.decided.get(&t), Some(&true));
+        assert_eq!(st.store.value(&Key::new("x")), 7);
+    }
+
+    #[test]
+    fn write_op_after_decision_is_ignored() {
+        let mut st = state();
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
+        st.apply_remote_abort(t, AbortReason::NegativeVote, SimTime::ZERO, &mut events);
+        events.clear();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("y", 1), 1, SimTime::ZERO, &mut events);
+        assert!(events.is_empty());
+        assert!(st.locks.locks_of(t).is_empty(), "no lock acquired post-abort");
+    }
+
+    #[test]
+    fn has_undecided_tracks_lifecycle() {
+        let mut st = state();
+        assert!(!st.has_undecided());
+        let t = TxnId::new(SiteId(1), 1);
+        let mut events = Vec::new();
+        st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
+        assert!(st.has_undecided());
+        st.apply_commit(t, SimTime::ZERO, &mut events);
+        assert!(!st.has_undecided());
+    }
+
+    #[test]
+    fn upgrade_own_read_lock_to_write() {
+        // A transaction reads x and writes x: its broadcast write op must
+        // upgrade its own origin-side shared lock.
+        let mut st = state();
+        let (id, ev) = st.begin_txn(SimTime::ZERO, TxnSpec::new().read("x").write("x", 1));
+        assert_eq!(ev, vec![LocalEvent::ReadsComplete(id)]);
+        let p = st.local[&id].prio;
+        let mut events = Vec::new();
+        st.deliver_write_op(id, p, wop("x", 1), 1, SimTime::from_micros(1), &mut events);
+        assert_eq!(events, vec![LocalEvent::RemotePrepared(id)]);
+        assert!(st.locks.holds(id, &Key::new("x"), LockMode::Exclusive));
+    }
+}

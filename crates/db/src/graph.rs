@@ -1,0 +1,304 @@
+//! A minimal directed graph with cycle detection.
+//!
+//! Backs both the waits-for-graph deadlock detector and the one-copy
+//! serialization-graph test (the paper proves correctness via acyclicity of
+//! the latter; we check it on every simulated history).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// A directed graph over nodes of type `N`.
+#[derive(Debug, Clone)]
+pub struct DiGraph<N> {
+    edges: HashMap<N, HashSet<N>>,
+}
+
+impl<N: Eq + Hash + Clone + Ord> Default for DiGraph<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Eq + Hash + Clone + Ord> DiGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Ensures `n` exists as a node.
+    pub fn add_node(&mut self, n: N) {
+        self.edges.entry(n).or_default();
+    }
+
+    /// Adds the edge `from → to` (self-loops allowed; they count as
+    /// cycles). Both endpoints are created if absent.
+    pub fn add_edge(&mut self, from: N, to: N) {
+        self.edges.entry(to.clone()).or_default();
+        self.edges.entry(from).or_default().insert(to);
+    }
+
+    /// True iff the edge exists.
+    pub fn has_edge(&self, from: &N, to: &N) -> bool {
+        self.edges.get(from).is_some_and(|s| s.contains(to))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Finds a cycle, returning its nodes in order (first node repeated
+    /// implicitly), or `None` if the graph is acyclic.
+    ///
+    /// Deterministic: neighbours are visited in sorted order, so the same
+    /// graph always yields the same cycle.
+    pub fn find_cycle(&self) -> Option<Vec<N>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let neighbours_of = |n: &N| -> Vec<N> {
+            let mut v: Vec<N> = self.edges[n].iter().cloned().collect();
+            // Reverse-sorted so pop() visits in ascending order.
+            v.sort_by(|a, b| b.cmp(a));
+            v
+        };
+        let mut color: HashMap<N, Color> = self
+            .edges
+            .keys()
+            .map(|n| (n.clone(), Color::White))
+            .collect();
+        let mut nodes: Vec<N> = self.edges.keys().cloned().collect();
+        nodes.sort();
+
+        // Iterative DFS keeping the gray path for cycle extraction.
+        for start in nodes {
+            if color[&start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(N, Vec<N>)> = Vec::new();
+            let mut path: Vec<N> = Vec::new();
+            color.insert(start.clone(), Color::Gray);
+            path.push(start.clone());
+            stack.push((start.clone(), neighbours_of(&start)));
+            while !stack.is_empty() {
+                let next = stack.last_mut().expect("non-empty").1.pop();
+                match next {
+                    Some(next) => match color[&next] {
+                        Color::White => {
+                            color.insert(next.clone(), Color::Gray);
+                            path.push(next.clone());
+                            let nb = neighbours_of(&next);
+                            stack.push((next, nb));
+                        }
+                        Color::Gray => {
+                            // Back edge: extract the cycle from the gray path.
+                            let pos = path
+                                .iter()
+                                .position(|p| *p == next)
+                                .expect("gray node is on the path");
+                            return Some(path[pos..].to_vec());
+                        }
+                        Color::Black => {}
+                    },
+                    None => {
+                        let (node, _) = stack.pop().expect("non-empty");
+                        color.insert(node, Color::Black);
+                        path.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// True iff the graph contains no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// A topological order of the nodes, or `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<N>> {
+        let mut indegree: HashMap<&N, usize> = self.edges.keys().map(|n| (n, 0)).collect();
+        for tos in self.edges.values() {
+            for to in tos {
+                *indegree.get_mut(to).expect("endpoint exists") += 1;
+            }
+        }
+        let mut ready: Vec<&N> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        ready.sort();
+        let mut order = Vec::with_capacity(self.edges.len());
+        while let Some(n) = ready.pop() {
+            order.push(n.clone());
+            let mut next: Vec<&N> = Vec::new();
+            for to in &self.edges[n] {
+                let d = indegree.get_mut(to).expect("endpoint exists");
+                *d -= 1;
+                if *d == 0 {
+                    next.push(to);
+                }
+            }
+            next.sort();
+            ready.extend(next);
+            ready.sort();
+        }
+        if order.len() == self.edges.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: DiGraph<u32> = DiGraph::new();
+        assert!(g.is_acyclic());
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topo_order().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn triangle_cycle_is_found() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        let cycle = g.find_cycle().expect("cycle exists");
+        assert_eq!(cycle.len(), 3);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(5, 5);
+        assert_eq!(g.find_cycle(), Some(vec![5]));
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut g = DiGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        assert!(g.is_acyclic());
+        let topo = g.topo_order().unwrap();
+        let pos = |x: u32| topo.iter().position(|&n| n == x).unwrap();
+        assert!(pos(1) < pos(2) && pos(1) < pos(3));
+        assert!(pos(2) < pos(4) && pos(3) < pos(4));
+    }
+
+    #[test]
+    fn has_edge_and_counts() {
+        let mut g = DiGraph::new();
+        g.add_edge("a", "b");
+        g.add_edge("a", "b"); // duplicate ignored
+        g.add_node("c");
+        assert!(g.has_edge(&"a", &"b"));
+        assert!(!g.has_edge(&"b", &"a"));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn cycle_in_larger_graph_with_acyclic_parts() {
+        let mut g = DiGraph::new();
+        // acyclic component
+        g.add_edge(10, 11);
+        g.add_edge(11, 12);
+        // cyclic component
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let c = g.find_cycle().unwrap();
+        assert!(c.contains(&2) && c.contains(&3));
+    }
+
+    proptest! {
+        /// Edges only from smaller to larger numbers can never form a cycle.
+        #[test]
+        fn forward_edges_are_acyclic(edges in proptest::collection::vec((0u32..50, 0u32..50), 0..200)) {
+            let mut g = DiGraph::new();
+            for (a, b) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    g.add_edge(lo, hi);
+                }
+            }
+            prop_assert!(g.is_acyclic());
+            prop_assert!(g.topo_order().is_some());
+        }
+
+        /// Adding a back edge over a path creates a detectable cycle.
+        #[test]
+        fn back_edge_creates_cycle(len in 2usize..20) {
+            let mut g = DiGraph::new();
+            for i in 0..len - 1 {
+                g.add_edge(i, i + 1);
+            }
+            g.add_edge(len - 1, 0);
+            prop_assert!(!g.is_acyclic());
+            let c = g.find_cycle().unwrap();
+            prop_assert_eq!(c.len(), len);
+        }
+
+        /// topo_order, when it exists, respects every edge.
+        #[test]
+        fn topo_order_respects_edges(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..100)) {
+            let mut g = DiGraph::new();
+            for (a, b) in &edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    g.add_edge(*lo, *hi);
+                }
+            }
+            let topo = g.topo_order().expect("forward graph is acyclic");
+            let pos: std::collections::HashMap<u32, usize> =
+                topo.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            for (a, b) in &edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    prop_assert!(pos[lo] < pos[hi]);
+                }
+            }
+        }
+    }
+}

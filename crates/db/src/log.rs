@@ -1,0 +1,241 @@
+//! Redo logging and crash recovery.
+//!
+//! Each site appends a record when a transaction's write set is applied.
+//! After a crash, replaying the log onto a fresh store reproduces the
+//! committed state — the durability half of strict 2PL's "commit applies
+//! all writes atomically".
+
+use crate::storage::Store;
+use crate::types::{TxnId, WriteOp};
+
+/// A checkpoint: a materialized store plus the log position it covers.
+/// Recovery = load the checkpoint, replay the log suffix.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Committed state at the checkpoint.
+    pub store: Store,
+    /// Number of log records folded into the checkpoint.
+    pub covered: usize,
+}
+
+/// One entry in a site's redo log.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LogRecord {
+    /// `txn` committed with this write set (empty for read-only commits,
+    /// which are logged only if the caller chooses to).
+    Commit {
+        /// The committed transaction.
+        txn: TxnId,
+        /// Its full write set.
+        writes: Vec<WriteOp>,
+    },
+    /// `txn` aborted (recorded for audit; replay ignores it).
+    Abort {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+}
+
+/// An append-only redo log.
+#[derive(Debug, Clone, Default)]
+pub struct RedoLog {
+    records: Vec<LogRecord>,
+}
+
+impl RedoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a commit record.
+    pub fn log_commit(&mut self, txn: TxnId, writes: Vec<WriteOp>) {
+        self.records.push(LogRecord::Commit { txn, writes });
+    }
+
+    /// Appends an abort record.
+    pub fn log_abort(&mut self, txn: TxnId) {
+        self.records.push(LogRecord::Abort { txn });
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Truncates the log to its first `n` records — simulates losing the
+    /// tail in a crash before it reached stable storage.
+    pub fn truncate(&mut self, n: usize) {
+        self.records.truncate(n);
+    }
+
+    /// Replays every commit record onto a fresh store, reproducing the
+    /// committed state at the time of the crash.
+    pub fn replay(&self) -> Store {
+        let mut store = Store::new();
+        for rec in &self.records {
+            if let LogRecord::Commit { txn, writes } = rec {
+                store.apply(*txn, writes);
+            }
+        }
+        store
+    }
+
+    /// Takes a checkpoint: materializes the current committed state and
+    /// records how much of the log it covers. Pair with
+    /// [`RedoLog::truncate_before`] to bound log growth.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            store: self.replay(),
+            covered: self.records.len(),
+        }
+    }
+
+    /// Drops the `n` oldest records (they are covered by a checkpoint).
+    /// Replaying the remainder on top of that checkpoint reproduces the
+    /// full state.
+    pub fn truncate_before(&mut self, n: usize) {
+        self.records.drain(..n.min(self.records.len()));
+    }
+
+    /// Recovers the full committed state from a checkpoint plus this log's
+    /// remaining records (which must start where the checkpoint ends).
+    pub fn recover_from(&self, cp: &Checkpoint) -> Store {
+        let mut store = cp.store.clone();
+        for rec in &self.records {
+            if let LogRecord::Commit { txn, writes } = rec {
+                store.apply(*txn, writes);
+            }
+        }
+        store
+    }
+
+    /// Ids of all committed transactions, in commit order.
+    pub fn committed(&self) -> Vec<TxnId> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit { txn, .. } => Some(*txn),
+                LogRecord::Abort { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Key;
+    use bcastdb_sim::SiteId;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(SiteId(0), n)
+    }
+
+    fn w(key: &str, v: i64) -> WriteOp {
+        WriteOp {
+            key: Key::new(key),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_committed_state() {
+        let mut log = RedoLog::new();
+        let mut live = Store::new();
+
+        log.log_commit(t(1), vec![w("x", 1), w("y", 2)]);
+        live.apply(t(1), &[w("x", 1), w("y", 2)]);
+        log.log_commit(t(2), vec![w("x", 10)]);
+        live.apply(t(2), &[w("x", 10)]);
+        log.log_abort(t(3));
+
+        let recovered = log.replay();
+        assert!(recovered.converged_with(&live));
+        assert_eq!(recovered.value(&Key::new("x")), 10);
+    }
+
+    #[test]
+    fn aborts_do_not_affect_replay() {
+        let mut log = RedoLog::new();
+        log.log_abort(t(1));
+        log.log_abort(t(2));
+        let s = log.replay();
+        assert!(s.is_empty());
+        assert_eq!(log.committed(), vec![]);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn truncation_loses_the_tail_only() {
+        let mut log = RedoLog::new();
+        log.log_commit(t(1), vec![w("x", 1)]);
+        log.log_commit(t(2), vec![w("x", 2)]);
+        log.truncate(1);
+        let s = log.replay();
+        assert_eq!(s.value(&Key::new("x")), 1);
+        assert_eq!(log.committed(), vec![t(1)]);
+    }
+
+    #[test]
+    fn committed_preserves_commit_order() {
+        let mut log = RedoLog::new();
+        log.log_commit(t(5), vec![]);
+        log.log_abort(t(6));
+        log.log_commit(t(2), vec![]);
+        assert_eq!(log.committed(), vec![t(5), t(2)]);
+    }
+
+    #[test]
+    fn checkpoint_plus_suffix_equals_full_replay() {
+        let mut log = RedoLog::new();
+        log.log_commit(t(1), vec![w("x", 1)]);
+        log.log_commit(t(2), vec![w("y", 2)]);
+        let full_before = log.replay();
+        let cp = log.checkpoint();
+        assert_eq!(cp.covered, 2);
+        assert!(cp.store.converged_with(&full_before));
+        // More activity after the checkpoint; then truncate the prefix.
+        log.log_commit(t(3), vec![w("x", 3)]);
+        log.log_abort(t(4));
+        let full = log.replay();
+        log.truncate_before(cp.covered);
+        assert_eq!(log.len(), 2, "only the suffix remains");
+        let recovered = log.recover_from(&cp);
+        assert!(recovered.converged_with(&full), "checkpoint + suffix = full state");
+        assert_eq!(recovered.value(&Key::new("x")), 3);
+    }
+
+    #[test]
+    fn truncate_before_clamps_to_length() {
+        let mut log = RedoLog::new();
+        log.log_commit(t(1), vec![w("x", 1)]);
+        log.truncate_before(10);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_of_empty_log_is_empty() {
+        let log = RedoLog::new();
+        let cp = log.checkpoint();
+        assert_eq!(cp.covered, 0);
+        assert!(cp.store.is_empty());
+    }
+
+    #[test]
+    fn empty_log_replays_to_empty_store() {
+        let log = RedoLog::new();
+        assert!(log.is_empty());
+        assert!(log.replay().is_empty());
+    }
+}

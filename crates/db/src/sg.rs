@@ -1,0 +1,565 @@
+//! One-copy serializability checking.
+//!
+//! The paper proves its protocols correct by showing the **one-copy
+//! serialization graph** of every execution is acyclic [BG87, BHG87]. This
+//! module turns that proof technique into a runtime checker: the simulation
+//! records every committed transaction's reads (with the version each read
+//! observed) and writes, plus each replica's per-key write install order,
+//! and [`HistoryRecorder::check`] verifies
+//!
+//! 1. **replica agreement** — all sites installed the writes of each key in
+//!    the same order (one-copy equivalence), and
+//! 2. **acyclicity** of the serialization graph built from
+//!    write-write (install order), write-read (reads-from) and read-write
+//!    (anti-dependency) edges.
+//!
+//! Any violation is reported with a witness, which makes protocol bugs in
+//! the replication layer loudly visible in tests.
+
+use crate::graph::DiGraph;
+use crate::storage::Store;
+use crate::types::{Key, TxnId, WriteOp};
+use bcastdb_sim::SiteId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A read observation: which committed version (by writer) a read saw.
+/// `None` is the initial (unwritten) version.
+pub type ObservedVersion = Option<TxnId>;
+
+#[derive(Debug, Clone)]
+struct CommittedTxn {
+    reads: Vec<(Key, ObservedVersion)>,
+    writes: Vec<WriteOp>,
+}
+
+/// Why a history is not one-copy serializable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgViolation {
+    /// Two sites installed the writes of `key` in different orders.
+    DivergentInstallOrder {
+        /// The disagreeing object.
+        key: Key,
+        /// First site and its order.
+        site_a: (SiteId, Vec<TxnId>),
+        /// Second site and its order.
+        site_b: (SiteId, Vec<TxnId>),
+    },
+    /// A committed transaction read a version written by a transaction that
+    /// never committed.
+    ReadFromUncommitted {
+        /// The reader.
+        reader: TxnId,
+        /// The object read.
+        key: Key,
+        /// The phantom writer.
+        writer: TxnId,
+    },
+    /// A committed transaction's write never appeared in any replica's
+    /// install order (the commit was decided but not applied).
+    CommittedWriteNotInstalled {
+        /// The committed writer.
+        writer: TxnId,
+        /// The object whose write is missing.
+        key: Key,
+    },
+    /// The one-copy serialization graph has a cycle.
+    Cycle(Vec<TxnId>),
+}
+
+impl fmt::Display for SgViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgViolation::DivergentInstallOrder { key, site_a, site_b } => write!(
+                f,
+                "replicas diverge on {key}: {} installed {:?}, {} installed {:?}",
+                site_a.0, site_a.1, site_b.0, site_b.1
+            ),
+            SgViolation::ReadFromUncommitted { reader, key, writer } => {
+                write!(f, "{reader} read {key} from uncommitted {writer}")
+            }
+            SgViolation::CommittedWriteNotInstalled { writer, key } => {
+                write!(f, "{writer} committed a write of {key} that no replica installed")
+            }
+            SgViolation::Cycle(c) => {
+                write!(f, "serialization graph cycle:")?;
+                for t in c {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Records a replicated execution and checks it for one-copy
+/// serializability.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRecorder {
+    committed: HashMap<TxnId, CommittedTxn>,
+    /// Per-site, per-key install order of committed writers.
+    site_orders: HashMap<SiteId, HashMap<Key, Vec<TxnId>>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed transaction (update or read-only) with the
+    /// versions its reads observed.
+    pub fn record_commit(
+        &mut self,
+        txn: TxnId,
+        reads: Vec<(Key, ObservedVersion)>,
+        writes: Vec<WriteOp>,
+    ) {
+        self.committed.insert(txn, CommittedTxn { reads, writes });
+    }
+
+    /// Captures a replica's per-key install order from its store after the
+    /// run quiesces.
+    pub fn record_site_order(&mut self, site: SiteId, store: &Store) {
+        let mut per_key = HashMap::new();
+        let keys: Vec<Key> = store.iter().map(|(k, _)| k.clone()).collect();
+        for key in keys {
+            let order = store.install_order(&key).to_vec();
+            if !order.is_empty() {
+                per_key.insert(key, order);
+            }
+        }
+        self.site_orders.insert(site, per_key);
+    }
+
+    /// Number of committed transactions recorded.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Produces an equivalent *serial* order of the committed transactions
+    /// — a topological order of the one-copy serialization graph. This is
+    /// the constructive form of the correctness proof: the returned order
+    /// executed serially would produce the same reads and final state.
+    ///
+    /// # Errors
+    /// Returns the violation if the history is not one-copy serializable.
+    pub fn serialization_order(&self) -> Result<Vec<TxnId>, SgViolation> {
+        self.check()?;
+        let canonical = self.check_replica_agreement()?;
+        let graph = self.build_graph(&canonical)?;
+        graph.topo_order().ok_or_else(|| {
+            SgViolation::Cycle(graph.find_cycle().unwrap_or_default())
+        })
+    }
+
+    /// Renders the one-copy serialization graph in Graphviz `dot` format
+    /// (committed transactions as nodes, conflict edges as arrows) — handy
+    /// for inspecting small histories.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph sg {\n  rankdir=LR;\n");
+        let canonical = match self.check_replica_agreement() {
+            Ok(c) => c,
+            Err(_) => return out + "}\n",
+        };
+        let Ok(graph) = self.build_graph(&canonical) else {
+            return out + "}\n";
+        };
+        let mut txns: Vec<&TxnId> = self.committed.keys().collect();
+        txns.sort();
+        for t in &txns {
+            out.push_str(&format!("  \"{t}\";\n"));
+        }
+        for a in &txns {
+            for b in &txns {
+                if graph.has_edge(a, b) {
+                    out.push_str(&format!("  \"{a}\" -> \"{b}\";\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Verifies the recorded history, returning the first violation found
+    /// (deterministically) or `Ok(())`.
+    ///
+    /// # Errors
+    /// Returns an [`SgViolation`] describing the witness when the history is
+    /// not one-copy serializable.
+    pub fn check(&self) -> Result<(), SgViolation> {
+        let canonical = self.check_replica_agreement()?;
+        // Every committed write must actually have been installed somewhere
+        // (only checked when replica orders were recorded at all).
+        if !self.site_orders.is_empty() {
+            let mut txns: Vec<&TxnId> = self.committed.keys().collect();
+            txns.sort();
+            for &txn in txns {
+                for wop in &self.committed[&txn].writes {
+                    let installed = canonical
+                        .get(&wop.key)
+                        .is_some_and(|order| order.contains(&txn));
+                    if !installed {
+                        return Err(SgViolation::CommittedWriteNotInstalled {
+                            writer: txn,
+                            key: wop.key.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let graph = self.build_graph(&canonical)?;
+        match graph.find_cycle() {
+            Some(c) => Err(SgViolation::Cycle(c)),
+            None => Ok(()),
+        }
+    }
+
+    /// Step 1: all sites must agree on each key's install order. Returns
+    /// the canonical per-key order (the union over sites; sites that never
+    /// saw a key contribute nothing).
+    fn check_replica_agreement(&self) -> Result<HashMap<Key, Vec<TxnId>>, SgViolation> {
+        let mut canonical: HashMap<Key, (SiteId, Vec<TxnId>)> = HashMap::new();
+        let mut sites: Vec<&SiteId> = self.site_orders.keys().collect();
+        sites.sort();
+        for &site in sites {
+            let mut keys: Vec<&Key> = self.site_orders[&site].keys().collect();
+            keys.sort();
+            for key in keys {
+                let order = &self.site_orders[&site][key];
+                match canonical.get(key) {
+                    None => {
+                        canonical.insert(key.clone(), (site, order.clone()));
+                    }
+                    Some((first_site, first_order)) => {
+                        if first_order != order {
+                            return Err(SgViolation::DivergentInstallOrder {
+                                key: key.clone(),
+                                site_a: (*first_site, first_order.clone()),
+                                site_b: (site, order.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(canonical
+            .into_iter()
+            .map(|(k, (_, o))| (k, o))
+            .collect())
+    }
+
+    /// Step 2: build the one-copy serialization graph.
+    fn build_graph(
+        &self,
+        install: &HashMap<Key, Vec<TxnId>>,
+    ) -> Result<DiGraph<TxnId>, SgViolation> {
+        let mut g = DiGraph::new();
+        for &txn in self.committed.keys() {
+            g.add_node(txn);
+        }
+        // ww edges: consecutive writers in install order.
+        for order in install.values() {
+            for pair in order.windows(2) {
+                g.add_edge(pair[0], pair[1]);
+            }
+        }
+        // wr and rw edges from read observations.
+        for (&reader, info) in &self.committed {
+            for (key, observed) in &info.reads {
+                let order = install.get(key).map(Vec::as_slice).unwrap_or(&[]);
+                match observed {
+                    Some(writer) => {
+                        if !self.committed.contains_key(writer) {
+                            return Err(SgViolation::ReadFromUncommitted {
+                                reader,
+                                key: key.clone(),
+                                writer: *writer,
+                            });
+                        }
+                        if *writer != reader {
+                            g.add_edge(*writer, reader); // wr
+                        }
+                        // rw: reader precedes the writer of the NEXT version.
+                        if let Some(pos) = order.iter().position(|t| t == writer) {
+                            if let Some(&next) = order.get(pos + 1) {
+                                if next != reader {
+                                    g.add_edge(reader, next);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Read the initial version: precedes the first writer.
+                        if let Some(&first) = order.first() {
+                            if first != reader {
+                                g.add_edge(reader, first);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(site: usize, n: u64) -> TxnId {
+        TxnId::new(SiteId(site), n)
+    }
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    fn w(key: &str, v: i64) -> WriteOp {
+        WriteOp {
+            key: k(key),
+            value: v,
+        }
+    }
+
+    /// Builds stores for `sites` replicas all applying the same sequence.
+    fn uniform_stores(sites: usize, seq: &[(TxnId, Vec<WriteOp>)]) -> Vec<Store> {
+        (0..sites)
+            .map(|_| {
+                let mut s = Store::new();
+                for (txn, writes) in seq {
+                    s.apply(*txn, writes);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        let h = HistoryRecorder::new();
+        assert_eq!(h.check(), Ok(()));
+    }
+
+    #[test]
+    fn serial_execution_passes() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        // t1 writes x; t2 reads t1's x and writes y.
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), Some(t1))], vec![w("y", 2)]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("y", 2)])];
+        for (i, s) in uniform_stores(3, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        assert_eq!(h.check(), Ok(()));
+    }
+
+    #[test]
+    fn divergent_install_order_is_caught() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![], vec![w("x", 2)]);
+        let mut s0 = Store::new();
+        s0.apply(t1, &[w("x", 1)]);
+        s0.apply(t2, &[w("x", 2)]);
+        let mut s1 = Store::new();
+        s1.apply(t2, &[w("x", 2)]);
+        s1.apply(t1, &[w("x", 1)]);
+        h.record_site_order(SiteId(0), &s0);
+        h.record_site_order(SiteId(1), &s1);
+        assert!(matches!(
+            h.check(),
+            Err(SgViolation::DivergentInstallOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn lost_update_cycle_is_caught() {
+        // Classic lost update: both read initial x, both write x.
+        // rw edges: t1 → t2 and t2 → t1 ... with install order t1,t2 the
+        // edges are t1→t2 (ww), t2→t1 (rw from t2's read of initial before
+        // t1's write) — a cycle.
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        h.record_commit(t1, vec![(k("x"), None)], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), None)], vec![w("x", 2)]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("x", 2)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        match h.check() {
+            Err(SgViolation::Cycle(c)) => assert_eq!(c.len(), 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_skew_cycle_is_caught() {
+        // t1 reads y (initial), writes x; t2 reads x (initial), writes y.
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        h.record_commit(t1, vec![(k("y"), None)], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), None)], vec![w("y", 1)]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("y", 1)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        match h.check() {
+            Err(SgViolation::Cycle(c)) => assert_eq!(c.len(), 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_from_uncommitted_is_caught() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let ghost = t(9, 9);
+        h.record_commit(t1, vec![(k("x"), Some(ghost))], vec![]);
+        assert!(matches!(
+            h.check(),
+            Err(SgViolation::ReadFromUncommitted { .. })
+        ));
+    }
+
+    #[test]
+    fn read_only_transactions_join_the_graph() {
+        // Serializable: reader sees t1's write, then t2 overwrites.
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        let ro = t(2, 1);
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![], vec![w("x", 2)]);
+        h.record_commit(ro, vec![(k("x"), Some(t1))], vec![]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("x", 2)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        assert_eq!(h.check(), Ok(()));
+    }
+
+    #[test]
+    fn read_only_anomaly_is_caught() {
+        // ro reads x from t2 but y initial, while t2 wrote both x and y:
+        // wr: t2→ro (x); rw: ro→t2 (y initial before t2's write) — cycle.
+        let mut h = HistoryRecorder::new();
+        let t2 = t(1, 1);
+        let ro = t(2, 1);
+        h.record_commit(t2, vec![], vec![w("x", 2), w("y", 2)]);
+        h.record_commit(ro, vec![(k("x"), Some(t2)), (k("y"), None)], vec![]);
+        let seq = vec![(t2, vec![w("x", 2), w("y", 2)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        match h.check() {
+            Err(SgViolation::Cycle(c)) => assert_eq!(c.len(), 2),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_serial_chain_passes() {
+        let mut h = HistoryRecorder::new();
+        let mut seq = Vec::new();
+        let mut prev: Option<TxnId> = None;
+        for i in 1..=20 {
+            let ti = t(0, i);
+            let reads = vec![(k("x"), prev)];
+            h.record_commit(ti, reads, vec![w("x", i as i64)]);
+            seq.push((ti, vec![w("x", i as i64)]));
+            prev = Some(ti);
+        }
+        for (i, s) in uniform_stores(3, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        assert_eq!(h.check(), Ok(()));
+        assert_eq!(h.committed_count(), 20);
+    }
+
+    #[test]
+    fn committed_but_uninstalled_write_is_caught() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(0, 2);
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![], vec![w("x", 2), w("y", 2)]);
+        // Replicas only ever installed t1 and t2's x — t2's y went missing.
+        let mut s = Store::new();
+        s.apply(t1, &[w("x", 1)]);
+        s.apply(t2, &[w("x", 2)]);
+        h.record_site_order(SiteId(0), &s);
+        assert_eq!(
+            h.check(),
+            Err(SgViolation::CommittedWriteNotInstalled {
+                writer: t2,
+                key: k("y"),
+            })
+        );
+    }
+
+    #[test]
+    fn serialization_order_respects_dependencies() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        let ro = t(2, 1);
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), Some(t1))], vec![w("y", 2)]);
+        h.record_commit(ro, vec![(k("y"), Some(t2))], vec![]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("y", 2)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        let order = h.serialization_order().expect("serializable");
+        let pos = |x: TxnId| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(t1) < pos(t2), "wr dependency respected");
+        assert!(pos(t2) < pos(ro), "reader after its writer");
+    }
+
+    #[test]
+    fn serialization_order_fails_on_cycle() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        h.record_commit(t1, vec![(k("x"), None)], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), None)], vec![w("x", 2)]);
+        let seq = vec![(t1, vec![w("x", 1)]), (t2, vec![w("x", 2)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        assert!(h.serialization_order().is_err());
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let mut h = HistoryRecorder::new();
+        let t1 = t(0, 1);
+        let t2 = t(1, 1);
+        h.record_commit(t1, vec![], vec![w("x", 1)]);
+        h.record_commit(t2, vec![(k("x"), Some(t1))], vec![]);
+        let seq = vec![(t1, vec![w("x", 1)])];
+        for (i, s) in uniform_stores(2, &seq).iter().enumerate() {
+            h.record_site_order(SiteId(i), s);
+        }
+        let dot = h.to_dot();
+        assert!(dot.contains("digraph sg"));
+        assert!(dot.contains("\"T0.1\""));
+        assert!(dot.contains("\"T0.1\" -> \"T1.1\""));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = SgViolation::Cycle(vec![t(0, 1), t(1, 1)]);
+        let s = v.to_string();
+        assert!(s.contains("cycle"));
+        assert!(s.contains("T0.1"));
+    }
+}

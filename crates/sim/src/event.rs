@@ -1,0 +1,200 @@
+//! The simulator's event queue.
+//!
+//! Events are ordered by `(time, sequence)` where `sequence` is a strictly
+//! increasing insertion counter: two events scheduled for the same instant
+//! fire in the order they were scheduled. This tie-break is what makes whole
+//! simulation runs reproducible bit-for-bit.
+
+use crate::{SimTime, SiteId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an [`Event`] does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M, T> {
+    /// Deliver a network message to `to`.
+    Deliver {
+        /// Originating site.
+        from: SiteId,
+        /// Destination site.
+        to: SiteId,
+        /// Application payload.
+        msg: M,
+    },
+    /// Fire a local timer at `at`.
+    Timer {
+        /// Site whose timer fires.
+        at: SiteId,
+        /// Application-defined timer tag.
+        tag: T,
+    },
+}
+
+/// A scheduled occurrence in virtual time.
+#[derive(Debug, Clone)]
+pub struct Event<M, T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number; breaks ties at equal `time`.
+    pub seq: u64,
+    /// The action to perform.
+    pub kind: EventKind<M, T>,
+}
+
+impl<M, T> PartialEq for Event<M, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M, T> Eq for Event<M, T> {}
+
+impl<M, T> PartialOrd for Event<M, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, T> Ord for Event<M, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable min-priority queue of [`Event`]s.
+#[derive(Debug)]
+pub struct EventQueue<M, T> {
+    heap: BinaryHeap<Event<M, T>>,
+    next_seq: u64,
+}
+
+impl<M, T> Default for EventQueue<M, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M, T> EventQueue<M, T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `time`. Events at equal times fire in
+    /// scheduling order.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind<M, T>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M, T>> {
+        self.heap.pop()
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(n: usize) -> EventKind<u32, ()> {
+        EventKind::Deliver {
+            from: SiteId(0),
+            to: SiteId(n),
+            msg: n as u32,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), deliver(3));
+        q.schedule(SimTime::from_micros(10), deliver(1));
+        q.schedule(SimTime::from_micros(20), deliver(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_micros(5), deliver(i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Deliver { to, .. } => to.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(9), deliver(0));
+        q.schedule(SimTime::from_micros(4), deliver(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(4)));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, deliver(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timers_and_messages_interleave_correctly() {
+        let mut q: EventQueue<u32, u8> = EventQueue::new();
+        q.schedule(
+            SimTime::from_micros(2),
+            EventKind::Timer {
+                at: SiteId(1),
+                tag: 7,
+            },
+        );
+        q.schedule(
+            SimTime::from_micros(1),
+            EventKind::Deliver {
+                from: SiteId(0),
+                to: SiteId(1),
+                msg: 42,
+            },
+        );
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Deliver { msg: 42, .. }
+        ));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Timer { tag: 7, .. }));
+    }
+}

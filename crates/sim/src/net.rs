@@ -1,0 +1,480 @@
+//! The simulated network.
+//!
+//! Models the communication substrate the paper assumes: point-to-point
+//! links that are FIFO per sender/receiver pair, with configurable latency,
+//! probabilistic message loss, crash failures, and partitions. Ordering
+//! *across* senders is not guaranteed — that is exactly the gap the
+//! broadcast primitives in `bcastdb-broadcast` close.
+
+use crate::{DetRng, SimDuration, SimTime, SiteId};
+use std::collections::{HashMap, HashSet};
+
+/// Distribution of one-way link latency.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed between `min` and `max` (inclusive bounds).
+    Uniform {
+        /// Minimum one-way latency.
+        min: SimDuration,
+        /// Maximum one-way latency.
+        max: SimDuration,
+    },
+    /// `base` plus an exponentially distributed jitter with mean `mean_jitter`.
+    Exponential {
+        /// Fixed propagation floor.
+        base: SimDuration,
+        /// Mean of the additive exponential jitter.
+        mean_jitter: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a one-way latency.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo);
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+            LatencyModel::Exponential { base, mean_jitter } => {
+                let jitter = rng.gen_exp(mean_jitter.as_micros() as f64);
+                base + SimDuration::from_micros(jitter as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution (used by analytic message-cost models).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::Exponential { base, mean_jitter } => base + mean_jitter,
+        }
+    }
+}
+
+/// Administrative state of a link or site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Messages flow normally.
+    Up,
+    /// Messages are silently discarded (crash or partition).
+    Down,
+}
+
+/// Static configuration of the simulated network.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NetworkConfig {
+    /// One-way latency distribution applied to every link.
+    pub latency: LatencyModel,
+    /// Probability that any given message is lost in transit.
+    pub loss_probability: f64,
+    /// Fixed per-message local processing/queueing cost added at the sender.
+    pub send_overhead: SimDuration,
+    /// Optional per-link bandwidth in bytes per second: each message adds a
+    /// transmission delay of `size / bandwidth` and occupies the link for
+    /// that long (serialization delay on top of propagation latency).
+    /// `None` models infinitely fast links.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl NetworkConfig {
+    /// A low-latency LAN profile resembling the paper's testbed era:
+    /// ~1ms ± exponential jitter, lossless.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Exponential {
+                base: SimDuration::from_micros(800),
+                mean_jitter: SimDuration::from_micros(200),
+            },
+            loss_probability: 0.0,
+            send_overhead: SimDuration::from_micros(50),
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// A wide-area profile: 20ms ± 5ms jitter.
+    pub fn wan() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Exponential {
+                base: SimDuration::from_millis(20),
+                mean_jitter: SimDuration::from_millis(5),
+            },
+            loss_probability: 0.0,
+            send_overhead: SimDuration::from_micros(50),
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Fixed latency, no jitter, no loss — ideal for unit tests that assert
+    /// exact delivery schedules.
+    pub fn deterministic(latency: SimDuration) -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Constant(latency),
+            loss_probability: 0.0,
+            send_overhead: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a finite per-link bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth_bytes_per_sec = Some(bytes_per_sec.max(1));
+        self
+    }
+}
+
+/// Dynamic network state: computes delivery schedules, enforces per-link
+/// FIFO, and tracks crashes/partitions plus traffic counters.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Earliest time the next message on (src, dst) may be delivered;
+    /// enforces the paper's FIFO-links assumption under jittered latency.
+    fifo_horizon: HashMap<(SiteId, SiteId), SimTime>,
+    crashed: HashSet<SiteId>,
+    /// Pairs that cannot currently communicate (symmetric entries stored
+    /// in both directions).
+    severed: HashSet<(SiteId, SiteId)>,
+    messages_sent: u64,
+    messages_dropped: u64,
+    bytes_sent: u64,
+}
+
+/// Outcome of submitting a message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transit {
+    /// Message will arrive at the given time.
+    DeliverAt(SimTime),
+    /// Message was lost (random loss, crash, or partition).
+    Dropped,
+}
+
+impl Network {
+    /// Creates a network in the fully-connected, all-up state.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            fifo_horizon: HashMap::new(),
+            crashed: HashSet::new(),
+            severed: HashSet::new(),
+            messages_sent: 0,
+            messages_dropped: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Access the static configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Computes what happens to a message of `size_hint` bytes submitted at
+    /// `now` from `from` to `to`, updating traffic counters and the FIFO
+    /// horizon for that link.
+    pub fn transit(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        size_hint: usize,
+        rng: &mut DetRng,
+    ) -> Transit {
+        if self.crashed.contains(&from) || self.crashed.contains(&to) || self.is_severed(from, to)
+        {
+            self.messages_dropped += 1;
+            return Transit::Dropped;
+        }
+        if self.config.loss_probability > 0.0 && rng.gen_bool(self.config.loss_probability) {
+            self.messages_dropped += 1;
+            return Transit::Dropped;
+        }
+        self.messages_sent += 1;
+        self.bytes_sent += size_hint as u64;
+        let latency = self.config.latency.sample(rng) + self.config.send_overhead;
+        // Finite bandwidth: the message occupies the link for its
+        // transmission time, pushing later traffic back (modelled through
+        // the FIFO horizon below).
+        let transmission = match self.config.bandwidth_bytes_per_sec {
+            Some(bw) => {
+                SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / bw)
+            }
+            None => SimDuration::ZERO,
+        };
+        let mut arrive = now + latency + transmission;
+        // FIFO per link: never deliver before (or at the same instant as) a
+        // previously scheduled message on the same link; with finite
+        // bandwidth, back-to-back messages serialize.
+        let horizon = self
+            .fifo_horizon
+            .entry((from, to))
+            .or_insert(SimTime::ZERO);
+        if arrive <= *horizon + transmission {
+            arrive = *horizon + transmission + SimDuration::from_micros(1);
+        }
+        *horizon = arrive;
+        Transit::DeliverAt(arrive)
+    }
+
+    /// Marks `site` as crashed: it neither sends nor receives from now on.
+    pub fn crash(&mut self, site: SiteId) {
+        self.crashed.insert(site);
+    }
+
+    /// Recovers a crashed site.
+    pub fn recover(&mut self, site: SiteId) {
+        self.crashed.remove(&site);
+    }
+
+    /// True iff `site` is currently crashed.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.contains(&site)
+    }
+
+    /// Severs bidirectional communication between `a` and `b`.
+    pub fn sever(&mut self, a: SiteId, b: SiteId) {
+        self.severed.insert((a, b));
+        self.severed.insert((b, a));
+    }
+
+    /// Restores communication between `a` and `b`.
+    pub fn heal(&mut self, a: SiteId, b: SiteId) {
+        self.severed.remove(&(a, b));
+        self.severed.remove(&(b, a));
+    }
+
+    /// Partitions the sites into two groups that cannot talk to each other.
+    pub fn partition(&mut self, group_a: &[SiteId], group_b: &[SiteId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.sever(a, b);
+            }
+        }
+    }
+
+    /// Removes all partitions (crashed sites stay crashed).
+    pub fn heal_all(&mut self) {
+        self.severed.clear();
+    }
+
+    fn is_severed(&self, a: SiteId, b: SiteId) -> bool {
+        self.severed.contains(&(a, b))
+    }
+
+    /// Total messages accepted by the network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total messages dropped (loss, crash, partition) so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Total payload bytes accepted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(1234)
+    }
+
+    #[test]
+    fn constant_latency_is_exact() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(2)));
+        let mut r = rng();
+        match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 10, &mut r) {
+            Transit::DeliverAt(t) => assert_eq!(t.as_micros(), 2_000),
+            Transit::Dropped => panic!("lossless network dropped a message"),
+        }
+    }
+
+    #[test]
+    fn fifo_is_enforced_per_link() {
+        // High jitter would reorder without FIFO enforcement.
+        let cfg = NetworkConfig {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_micros(10),
+                max: SimDuration::from_millis(10),
+            },
+            loss_probability: 0.0,
+            send_overhead: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: None,
+        };
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        for i in 0..200 {
+            let now = SimTime::from_micros(i);
+            match net.transit(now, SiteId(0), SiteId(1), 1, &mut r) {
+                Transit::DeliverAt(t) => {
+                    assert!(t > last, "FIFO violated: {t:?} <= {last:?}");
+                    last = t;
+                }
+                Transit::Dropped => panic!("unexpected drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_links_do_not_share_fifo_horizon() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)));
+        let mut r = rng();
+        let t1 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1, &mut r) {
+            Transit::DeliverAt(t) => t,
+            _ => panic!(),
+        };
+        // Different destination: same nominal arrival is fine.
+        let t2 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r) {
+            Transit::DeliverAt(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn crashed_sites_drop_traffic_both_ways() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)));
+        let mut r = rng();
+        net.crash(SiteId(1));
+        assert!(net.is_crashed(SiteId(1)));
+        assert_eq!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1, &mut r),
+            Transit::Dropped
+        );
+        assert_eq!(
+            net.transit(SimTime::ZERO, SiteId(1), SiteId(0), 1, &mut r),
+            Transit::Dropped
+        );
+        net.recover(SiteId(1));
+        assert!(matches!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1, &mut r),
+            Transit::DeliverAt(_)
+        ));
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_only() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)));
+        let mut r = rng();
+        net.partition(&[SiteId(0), SiteId(1)], &[SiteId(2)]);
+        assert_eq!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r),
+            Transit::Dropped
+        );
+        assert!(matches!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1, &mut r),
+            Transit::DeliverAt(_)
+        ));
+        net.heal_all();
+        assert!(matches!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r),
+            Transit::DeliverAt(_)
+        ));
+    }
+
+    #[test]
+    fn loss_probability_drops_roughly_that_fraction() {
+        let mut net =
+            Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)).with_loss(0.3));
+        let mut r = rng();
+        let n = 10_000;
+        let mut dropped = 0;
+        for i in 0..n {
+            if net.transit(SimTime::from_micros(i), SiteId(0), SiteId(1), 1, &mut r)
+                == Transit::Dropped
+            {
+                dropped += 1;
+            }
+        }
+        let frac = dropped as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn counters_track_sent_dropped_bytes() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)));
+        let mut r = rng();
+        net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 100, &mut r);
+        net.crash(SiteId(2));
+        net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 100, &mut r);
+        assert_eq!(net.messages_sent(), 1);
+        assert_eq!(net.messages_dropped(), 1);
+        assert_eq!(net.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn finite_bandwidth_adds_transmission_delay() {
+        // 1_000 bytes at 1 MB/s = 1ms transmission on top of 1ms latency.
+        let cfg = NetworkConfig::deterministic(SimDuration::from_millis(1))
+            .with_bandwidth(1_000_000);
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {
+            Transit::DeliverAt(t) => assert_eq!(t.as_micros(), 2_000),
+            Transit::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_messages() {
+        let cfg = NetworkConfig::deterministic(SimDuration::from_millis(1))
+            .with_bandwidth(1_000_000);
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let t1 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {
+            Transit::DeliverAt(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {
+            Transit::DeliverAt(t) => t,
+            _ => panic!(),
+        };
+        assert!(
+            t2.as_micros() >= t1.as_micros() + 1_000,
+            "second message must wait out the first's transmission: {t1} vs {t2}"
+        );
+    }
+
+    #[test]
+    fn latency_model_means() {
+        assert_eq!(
+            LatencyModel::Constant(SimDuration::from_millis(3)).mean(),
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(
+            LatencyModel::Uniform {
+                min: SimDuration::from_micros(100),
+                max: SimDuration::from_micros(300),
+            }
+            .mean(),
+            SimDuration::from_micros(200)
+        );
+        assert_eq!(
+            LatencyModel::Exponential {
+                base: SimDuration::from_micros(500),
+                mean_jitter: SimDuration::from_micros(100),
+            }
+            .mean(),
+            SimDuration::from_micros(600)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Virtual time for the simulator.
+//!
+//! Time is measured in integer microseconds since the start of the run.
+//! Integer time makes event ordering exact and runs reproducible; the
+//! protocols under study only care about relative delays.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant as fractional milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The amount of time elapsed since `earlier`, saturating at zero.
+    ///
+    /// Saturation (rather than panicking) keeps metric collection robust when
+    /// an event is recorded against a baseline taken slightly later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// True iff the duration is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t.as_micros(), 15);
+    }
+
+    #[test]
+    fn millis_and_secs_constructors() {
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimDuration::from_secs(3).as_micros(), 3_000_000);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let a = SimTime::from_micros(5);
+        let b = SimTime::from_micros(9);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).as_micros(), 4);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::from_millis(1) > SimDuration::from_micros(999));
+    }
+
+    #[test]
+    fn display_formats_as_millis() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    fn saturating_mul_caps_at_max() {
+        let d = SimDuration::from_micros(u64::MAX);
+        assert_eq!(d.saturating_mul(2).as_micros(), u64::MAX);
+    }
+}

@@ -1,0 +1,323 @@
+//! Measurement helpers: counters, histograms, and time-series used by the
+//! experiment harness to regenerate the paper's tables and figures.
+
+use crate::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A streaming collection of duration samples with summary statistics.
+///
+/// Used for commit latencies: each committed transaction contributes one
+/// sample, and the harness reports mean / p50 / p95 / p99 / max per series.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_micros((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0..=1.0) by nearest-rank, or zero when empty.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_micros(self.samples[idx])
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> SimDuration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> SimDuration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> SimDuration {
+        self.quantile(0.99)
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut me = self.clone();
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} max={}",
+            me.count(),
+            me.mean(),
+            me.p50(),
+            me.p95(),
+            me.max()
+        )
+    }
+}
+
+/// A windowed time series: samples bucketed by fixed virtual-time windows,
+/// used for throughput-over-time plots (commits per window, messages per
+/// window).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: crate::SimDuration,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: crate::SimDuration) -> Self {
+        assert!(!window.is_zero(), "time series needs a nonzero window");
+        TimeSeries {
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one event at virtual time `at`.
+    pub fn record(&mut self, at: crate::SimTime) {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// The bucket width.
+    pub fn window(&self) -> crate::SimDuration {
+        self.window
+    }
+
+    /// Per-window counts, oldest first (trailing empty windows included up
+    /// to the last recorded event).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The busiest window's `(index, count)`, or `None` when empty.
+    pub fn peak(&self) -> Option<(usize, u64)> {
+        self.buckets
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+    }
+
+    /// Mean events per window over the recorded span (0 when empty).
+    pub fn mean_rate(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.buckets.len() as f64
+        }
+    }
+}
+
+/// Named monotonically increasing counters (messages sent, aborts, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another counter set into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        let mut first = true;
+        for (k, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_summary() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100u64 {
+            s.record(SimDuration::from_micros(i));
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.mean().as_micros(), 50); // (5050/100) truncated
+        // nearest-rank on an even count rounds up: index round(99*0.5)=50.
+        assert_eq!(s.p50().as_micros(), 51);
+        assert_eq!(s.p95().as_micros(), 95);
+        assert_eq!(s.max().as_micros(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.p99(), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantile_clamps_range() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_micros(7));
+        assert_eq!(s.quantile(-1.0).as_micros(), 7);
+        assert_eq!(s.quantile(2.0).as_micros(), 7);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(SimDuration::from_micros(1));
+        b.record(SimDuration::from_micros(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_micros(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut c = Counters::new();
+        c.incr("aborts");
+        c.add("aborts", 2);
+        c.incr("commits");
+        assert_eq!(c.get("aborts"), 3);
+        assert_eq!(c.get("missing"), 0);
+
+        let mut d = Counters::new();
+        d.add("aborts", 10);
+        c.merge(&d);
+        assert_eq!(c.get("aborts"), 13);
+        assert_eq!(c.get("commits"), 1);
+    }
+
+    #[test]
+    fn time_series_buckets_by_window() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10));
+        for t in [0u64, 1_000, 9_999, 10_000, 25_000] {
+            ts.record(crate::SimTime::from_micros(t));
+        }
+        assert_eq!(ts.buckets(), &[3, 1, 1]);
+        assert_eq!(ts.total(), 5);
+        assert_eq!(ts.peak(), Some((0, 3)));
+        assert!((ts.mean_rate() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_empty_behaviour() {
+        let ts = TimeSeries::new(SimDuration::from_millis(1));
+        assert_eq!(ts.total(), 0);
+        assert_eq!(ts.peak(), None);
+        assert_eq!(ts.mean_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero window")]
+    fn time_series_rejects_zero_window() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn counters_display_sorted() {
+        let mut c = Counters::new();
+        c.incr("b");
+        c.incr("a");
+        assert_eq!(c.to_string(), "a=1 b=1");
+    }
+}

@@ -1,0 +1,154 @@
+//! Named workload presets used across the experiment harness, examples,
+//! and tests — one place to keep the standard shapes consistent.
+
+use crate::spec::WorkloadConfig;
+
+/// The standard evaluation workloads, mirroring the parameter choices the
+/// benchmark binaries sweep around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Large database, mild skew — conflicts are rare; isolates protocol
+    /// overheads (message counts, commit latency).
+    LowContention,
+    /// Medium database, strong skew — steady conflict pressure.
+    Moderate,
+    /// Small database, multi-key transactions — the stress corner where
+    /// conflict handling dominates.
+    HighContention,
+    /// Half the transactions are multi-read queries — exercises the
+    /// read-only guarantees (free and abort-proof in the reliable/causal
+    /// protocols, wound-able in the atomic one).
+    ReadHeavy,
+    /// Single-key blind writes at full tilt — the hot-spot worst case.
+    HotSpot,
+}
+
+impl Scenario {
+    /// All scenarios, mild to severe.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::LowContention,
+        Scenario::Moderate,
+        Scenario::HighContention,
+        Scenario::ReadHeavy,
+        Scenario::HotSpot,
+    ];
+
+    /// A short stable name for tables and CSV files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::LowContention => "low",
+            Scenario::Moderate => "moderate",
+            Scenario::HighContention => "high",
+            Scenario::ReadHeavy => "read-heavy",
+            Scenario::HotSpot => "hot-spot",
+        }
+    }
+
+    /// The workload configuration for this scenario.
+    pub fn config(self) -> WorkloadConfig {
+        match self {
+            Scenario::LowContention => WorkloadConfig {
+                n_keys: 2000,
+                theta: 0.3,
+                reads_per_txn: 2,
+                writes_per_txn: 2,
+                readonly_fraction: 0.2,
+                ..WorkloadConfig::default()
+            },
+            Scenario::Moderate => WorkloadConfig {
+                n_keys: 200,
+                theta: 0.8,
+                reads_per_txn: 2,
+                writes_per_txn: 2,
+                readonly_fraction: 0.2,
+                ..WorkloadConfig::default()
+            },
+            Scenario::HighContention => WorkloadConfig {
+                n_keys: 20,
+                theta: 0.9,
+                reads_per_txn: 1,
+                writes_per_txn: 3,
+                readonly_fraction: 0.1,
+                ..WorkloadConfig::default()
+            },
+            Scenario::ReadHeavy => WorkloadConfig {
+                n_keys: 200,
+                theta: 0.8,
+                reads_per_txn: 1,
+                writes_per_txn: 2,
+                reads_per_ro_txn: 6,
+                readonly_fraction: 0.5,
+                ..WorkloadConfig::default()
+            },
+            Scenario::HotSpot => WorkloadConfig {
+                n_keys: 1,
+                theta: 0.0,
+                reads_per_txn: 0,
+                writes_per_txn: 1,
+                readonly_fraction: 0.0,
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_config_is_valid() {
+        for s in Scenario::ALL {
+            s.config().validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            Scenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Scenario::ALL.len());
+    }
+
+    #[test]
+    fn contention_ordering_holds() {
+        assert!(
+            Scenario::LowContention.config().n_keys
+                > Scenario::Moderate.config().n_keys
+        );
+        assert!(
+            Scenario::Moderate.config().n_keys > Scenario::HighContention.config().n_keys
+        );
+    }
+
+    /// Cross-crate smoke: every scenario runs clean on every protocol.
+    #[test]
+    fn scenarios_run_on_all_protocols() {
+        use crate::runner::WorkloadRun;
+        use bcastdb_core::{Cluster, ProtocolKind};
+        use bcastdb_sim::SimDuration;
+
+        for scenario in Scenario::ALL {
+            for proto in ProtocolKind::ALL {
+                let mut cluster = Cluster::builder()
+                    .sites(3)
+                    .protocol(proto)
+                    .seed(97)
+                    .build();
+                let run = WorkloadRun::new(scenario.config(), 970);
+                let report = run.open_loop(&mut cluster, 5, SimDuration::from_millis(5));
+                assert!(report.quiesced, "{proto}/{scenario}");
+                assert!(report.converged, "{proto}/{scenario}");
+                cluster
+                    .check_serializability()
+                    .unwrap_or_else(|v| panic!("{proto}/{scenario}: {v}"));
+            }
+        }
+    }
+}

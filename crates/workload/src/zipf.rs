@@ -1,0 +1,139 @@
+//! Zipf-distributed sampling over a key space.
+//!
+//! The standard model for skewed database access: key rank `k` (1-based)
+//! is drawn with probability proportional to `1 / k^theta`. `theta = 0`
+//! is uniform; `theta ≈ 1` is heavily skewed.
+
+use bcastdb_sim::DetRng;
+
+/// A precomputed Zipf sampler over `n` items.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i]` = P(rank <= i+1).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with skew `theta >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid skew {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the sampler covers zero items (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a 0-based item index.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.gen_f64();
+        // First index whose CDF value is >= u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = DetRng::new(1);
+        let mut counts = vec![0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "uniform fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_low_ranks() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = DetRng::new(2);
+        let mut counts = vec![0usize; 100];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 1 under theta≈1 over 100 items gets ~1/H(100) ≈ 19%.
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!(frac0 > 0.12, "top rank fraction {frac0}");
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_range() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = DetRng::new(4);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid skew")]
+    fn negative_theta_panics() {
+        let _ = Zipf::new(5, -1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 0.7);
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

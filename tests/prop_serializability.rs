@@ -1,0 +1,76 @@
+//! Property-based end-to-end testing: for *any* protocol, seed, cluster
+//! size, and workload shape (within bounded ranges), a run must
+//!
+//! 1. quiesce (no protocol ever wedges),
+//! 2. terminate every submitted transaction,
+//! 3. converge all replicas to identical committed state, and
+//! 4. produce a one-copy serializable history.
+//!
+//! This is the paper's correctness theorem turned into an executable
+//! property over randomized executions.
+
+use bcastdb::prelude::*;
+use bcastdb::protocols::ProtocolKind;
+use bcastdb::workload::WorkloadConfig;
+use proptest::prelude::*;
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::PointToPoint),
+        Just(ProtocolKind::ReliableBcast),
+        Just(ProtocolKind::CausalBcast),
+        Just(ProtocolKind::AtomicBcast),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 0, // each case is a full simulation; don't shrink
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_random_run_is_serializable(
+        proto in protocol_strategy(),
+        sites in 2usize..6,
+        seed in 0u64..1_000,
+        n_keys in 3usize..60,
+        theta in 0.0f64..1.2,
+        writes in 1usize..4,
+        reads in 0usize..3,
+        ro_frac in 0.0f64..0.8,
+        txns_per_site in 3usize..10,
+        gap_us in 200u64..20_000,
+    ) {
+        let cfg = WorkloadConfig {
+            n_keys,
+            theta,
+            reads_per_txn: reads,
+            writes_per_txn: writes,
+            reads_per_ro_txn: 3,
+            readonly_fraction: ro_frac,
+        };
+        let mut cluster = Cluster::builder()
+            .sites(sites)
+            .protocol(proto)
+            .seed(seed)
+            .build();
+        let run = WorkloadRun::new(cfg, seed ^ 0xABCD);
+        let report = run.open_loop(
+            &mut cluster,
+            txns_per_site,
+            SimDuration::from_micros(gap_us),
+        );
+        prop_assert!(report.quiesced, "{proto}: did not quiesce");
+        prop_assert!(report.converged, "{proto}: replicas diverged");
+        prop_assert_eq!(
+            report.metrics.commits() + report.metrics.aborts(),
+            (sites * txns_per_site) as u64,
+            "{}: transactions lost", proto
+        );
+        if let Err(v) = cluster.check_serializability() {
+            return Err(TestCaseError::fail(format!("{proto}: {v}")));
+        }
+    }
+}
