@@ -6,7 +6,7 @@
 //! decentralized ISIS agreement (3 hops, 3(N-1) messages) — and reports
 //! message counts and commit latency as the system grows.
 
-use bcastdb_bench::Table;
+use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
 use bcastdb_core::{AbcastImpl, Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -21,14 +21,26 @@ fn main() {
     };
     let mut table = Table::new(
         "a1_abcast_impl",
-        &["sites", "impl", "commits", "messages", "msgs_per_txn", "mean_ms", "p95_ms"],
+        &[
+            "sites",
+            "impl",
+            "commits",
+            "messages",
+            "msgs_per_txn",
+            "mean_ms",
+            "p95_ms",
+        ],
     );
     for n in [3usize, 5, 7, 9, 13] {
-        for (name, imp) in [("sequencer", AbcastImpl::Sequencer), ("isis", AbcastImpl::Isis)] {
+        for (name, imp) in [
+            ("sequencer", AbcastImpl::Sequencer),
+            ("isis", AbcastImpl::Isis),
+        ] {
             let mut cluster = Cluster::builder()
                 .sites(n)
                 .protocol(ProtocolKind::AtomicBcast)
                 .abcast(imp)
+                .trace(TRACE_CAPACITY)
                 .seed(29)
                 .build();
             let run = WorkloadRun::new(cfg.clone(), 290 + n as u64);
@@ -36,6 +48,7 @@ fn main() {
             assert!(report.quiesced, "{name}@{n} did not quiesce");
             assert!(report.all_terminated(), "{name}@{n} wedged transactions");
             cluster.check_serializability().expect("serializable");
+            check_traced_run(&cluster, &format!("{name}@{n}"));
             let mut m = report.metrics;
             let per_txn = report.messages as f64 / m.commits().max(1) as f64;
             table.row(&[

@@ -6,7 +6,7 @@
 //! but keeps latencies slightly lower; wound-wait aborts fewer and favours
 //! old transactions.
 
-use bcastdb_bench::{f2, Table};
+use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ConflictPolicy, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -14,7 +14,14 @@ use bcastdb_workload::{WorkloadConfig, WorkloadRun};
 fn main() {
     let mut table = Table::new(
         "a2_conflict_policy",
-        &["keys", "policy", "commits", "aborts", "abort_rate", "mean_ms"],
+        &[
+            "keys",
+            "policy",
+            "commits",
+            "aborts",
+            "abort_rate",
+            "mean_ms",
+        ],
     );
     for n_keys in [200usize, 50, 20, 10, 5] {
         let cfg = WorkloadConfig {
@@ -32,13 +39,18 @@ fn main() {
                 .sites(5)
                 .protocol(ProtocolKind::ReliableBcast)
                 .policy(policy)
+                .trace(TRACE_CAPACITY)
                 .seed(31)
                 .build();
             let run = WorkloadRun::new(cfg.clone(), 310 + n_keys as u64);
             let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
             assert!(report.quiesced, "{name}@{n_keys} did not quiesce");
-            assert!(report.all_terminated(), "{name}@{n_keys} wedged transactions");
+            assert!(
+                report.all_terminated(),
+                "{name}@{n_keys} wedged transactions"
+            );
             cluster.check_serializability().expect("serializable");
+            check_traced_run(&cluster, &format!("{name}@{n_keys}"));
             let m = report.metrics;
             table.row(&[
                 &n_keys,

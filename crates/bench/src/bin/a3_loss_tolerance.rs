@@ -7,7 +7,7 @@
 //! This ablation measures that price and verifies the guarantees survive
 //! actual loss.
 
-use bcastdb_bench::{f2, Table};
+use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::{NetworkConfig, SimDuration};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -27,13 +27,19 @@ fn main() {
         ],
     );
     for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
-        for (loss, relay) in [(0.0, false), (0.0, true), (0.02, true), (0.05, true), (0.10, true)]
-        {
+        for (loss, relay) in [
+            (0.0, false),
+            (0.0, true),
+            (0.02, true),
+            (0.05, true),
+            (0.10, true),
+        ] {
             let mut cluster = Cluster::builder()
                 .sites(4)
                 .protocol(proto)
                 .network(NetworkConfig::lan().with_loss(loss))
                 .relay(relay)
+                .trace(TRACE_CAPACITY)
                 .seed(83)
                 .build();
             let run = WorkloadRun::new(cfg.clone(), 830);
@@ -47,6 +53,7 @@ fn main() {
             cluster
                 .check_serializability()
                 .unwrap_or_else(|v| panic!("{proto}@loss{loss}: {v}"));
+            check_traced_run(&cluster, &format!("{proto}@loss{loss}"));
             let m = report.metrics;
             table.row(&[
                 &proto.name(),

@@ -7,7 +7,7 @@
 //! and the atomic protocol is flattest (one ordered broadcast, no
 //! acknowledgements).
 
-use bcastdb_bench::Table;
+use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -23,16 +23,24 @@ fn main() {
     };
     let mut table = Table::new(
         "f1_latency_vs_n",
-        &["sites", "protocol", "commits", "aborts", "mean_ms", "p95_ms"],
+        &[
+            "sites", "protocol", "commits", "aborts", "mean_ms", "p95_ms",
+        ],
     );
     for n in [3usize, 5, 7, 9, 13] {
         for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder().sites(n).protocol(proto).seed(7).build();
+            let mut cluster = Cluster::builder()
+                .sites(n)
+                .protocol(proto)
+                .trace(TRACE_CAPACITY)
+                .seed(7)
+                .build();
             let run = WorkloadRun::new(cfg.clone(), 70 + n as u64);
             let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
             assert!(report.quiesced, "{proto}@{n} did not quiesce");
             assert!(report.all_terminated(), "{proto}@{n} wedged transactions");
             cluster.check_serializability().expect("serializable");
+            check_traced_run(&cluster, &format!("{proto}@{n}"));
             let mut m = report.metrics;
             table.row(&[
                 &n,

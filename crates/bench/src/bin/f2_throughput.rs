@@ -7,7 +7,7 @@
 //! (and, for the baseline, per-operation ack round trips) flattens it;
 //! the atomic protocol peaks highest, the baseline lowest.
 
-use bcastdb_bench::{f2, Table};
+use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
 
@@ -27,12 +27,23 @@ fn main() {
     for mpl in [1usize, 2, 4, 8, 16] {
         for proto in ProtocolKind::ALL {
             eprintln!("[f2] mpl={mpl} protocol={}", proto.name());
-            let mut cluster = Cluster::builder().sites(5).protocol(proto).seed(11).build();
+            let mut cluster = Cluster::builder()
+                .sites(5)
+                .protocol(proto)
+                .trace(TRACE_CAPACITY)
+                .seed(11)
+                .build();
             let run = WorkloadRun::new(cfg.clone(), 110 + mpl as u64);
             let report = run.closed_loop(&mut cluster, mpl, 12);
             assert!(report.quiesced, "{proto}@mpl{mpl} did not drain");
-            assert!(report.all_terminated(), "{proto}@mpl{mpl} wedged transactions");
-            cluster.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            assert!(
+                report.all_terminated(),
+                "{proto}@mpl{mpl} wedged transactions"
+            );
+            cluster
+                .check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
+            check_traced_run(&cluster, &format!("{proto}@mpl{mpl}"));
             let m = report.metrics;
             table.row(&[
                 &mpl,

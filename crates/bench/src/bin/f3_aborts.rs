@@ -7,7 +7,7 @@
 //! causal protocol converts conflicts into deterministic concurrent-loser
 //! aborts, and the atomic protocol into certification failures.
 
-use bcastdb_bench::{f2, Table};
+use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -38,12 +38,23 @@ fn main() {
             ..WorkloadConfig::default()
         };
         for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder().sites(5).protocol(proto).seed(13).build();
+            let mut cluster = Cluster::builder()
+                .sites(5)
+                .protocol(proto)
+                .trace(TRACE_CAPACITY)
+                .seed(13)
+                .build();
             let run = WorkloadRun::new(cfg.clone(), 130 + n_keys as u64);
             let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
             assert!(report.quiesced, "{proto}@{n_keys} did not quiesce");
-            assert!(report.all_terminated(), "{proto}@{n_keys} wedged transactions");
-            cluster.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            assert!(
+                report.all_terminated(),
+                "{proto}@{n_keys} wedged transactions"
+            );
+            cluster
+                .check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
+            check_traced_run(&cluster, &format!("{proto}@{n_keys}"));
             let m = report.metrics;
             table.row(&[
                 &n_keys,

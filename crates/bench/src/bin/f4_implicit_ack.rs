@@ -14,14 +14,22 @@
 //! 2. **Null-message period** (the paper's mitigation): commit latency on a
 //!    quiet cluster as a function of the keep-alive period. Latency tracks
 //!    the tick.
+//!
+//! Each row carries the per-phase message breakdown: the `ack` column is
+//! where the keep-alive nulls land, making the implicit-acknowledgement
+//! cost directly visible next to the latency it buys.
 
-use bcastdb_bench::Table;
+use bcastdb_bench::{
+    check_traced_run, check_traced_run_allowing_pending, phase_cells, phase_headers, Table,
+    TRACE_CAPACITY,
+};
+use bcastdb_core::TxnSpec;
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
-use bcastdb_core::TxnSpec;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+use std::fmt::Display;
 
-fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String) {
+fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String, allow_pending: bool) {
     // Ten probe transactions spread out at site 0, no key overlap with
     // background traffic.
     let mut ids = Vec::new();
@@ -34,22 +42,28 @@ fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String) {
         ));
     }
     cluster.run_to_quiescence();
+    if allow_pending {
+        // With keep-alives off a probe past the background traffic's end
+        // never hears its implicit acks — the wedged commit is the data
+        // point, not a harness bug.
+        check_traced_run_allowing_pending(cluster, &format!("{label}@{x}"));
+    } else {
+        check_traced_run(cluster, &format!("{label}@{x}"));
+    }
     let mut m = cluster.metrics();
     let committed = ids.iter().filter(|t| cluster.is_committed(**t)).count();
-    table.row(&[
-        &label,
-        &x,
-        &committed,
-        &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
-        &format!("{:.3}", m.update_latency.p95().as_millis_f64()),
-    ]);
+    let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
+    let p95 = format!("{:.3}", m.update_latency.p95().as_millis_f64());
+    let phases = phase_cells(&cluster.phase_counts());
+    let mut cells: Vec<&dyn Display> = vec![&label, &x, &committed, &mean, &p95];
+    cells.extend(phases.iter().map(|c| c as &dyn Display));
+    table.row(&cells);
 }
 
 fn main() {
-    let mut table = Table::new(
-        "f4_implicit_ack",
-        &["series", "x", "probe_commits", "mean_ms", "p95_ms"],
-    );
+    let mut headers = vec!["series", "x", "probe_commits", "mean_ms", "p95_ms"];
+    headers.extend(phase_headers());
+    let mut table = Table::new("f4_implicit_ack", &headers);
 
     // Sweep 1: background traffic density, nulls OFF.
     for gap_ms in [2u64, 5, 10, 20, 50] {
@@ -57,6 +71,7 @@ fn main() {
             .sites(5)
             .protocol(ProtocolKind::CausalBcast)
             .null_messages(false)
+            .trace(TRACE_CAPACITY)
             .seed(17)
             .build();
         // Background: steady unrelated updates from sites 1..4.
@@ -85,6 +100,7 @@ fn main() {
             "traffic-gap(nulls-off)",
             &mut table,
             format!("{gap_ms}ms"),
+            true,
         );
     }
 
@@ -94,6 +110,7 @@ fn main() {
             .sites(5)
             .protocol(ProtocolKind::CausalBcast)
             .tick_every(SimDuration::from_millis(tick_ms))
+            .trace(TRACE_CAPACITY)
             .seed(18)
             .build();
         probe(
@@ -101,6 +118,7 @@ fn main() {
             "null-period(quiet)",
             &mut table,
             format!("{tick_ms}ms"),
+            false,
         );
     }
 
@@ -109,9 +127,16 @@ fn main() {
     let mut cluster = Cluster::builder()
         .sites(5)
         .protocol(ProtocolKind::ReliableBcast)
+        .trace(TRACE_CAPACITY)
         .seed(19)
         .build();
-    probe(&mut cluster, "reliable-reference", &mut table, "-".into());
+    probe(
+        &mut cluster,
+        "reliable-reference",
+        &mut table,
+        "-".into(),
+        false,
+    );
 
     table.emit();
 }

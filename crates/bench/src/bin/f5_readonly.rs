@@ -9,7 +9,7 @@
 //! read-only commit latency, and read-only aborts (nonzero only for the
 //! atomic protocol under contention).
 
-use bcastdb_bench::{f2, Table};
+use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -36,7 +36,6 @@ fn main() {
             writes_per_txn: 2,
             reads_per_ro_txn: 6,
             readonly_fraction: ro,
-            ..WorkloadConfig::default()
         };
         for proto in ProtocolKind::ALL {
             let mut cluster = Cluster::builder()
@@ -46,13 +45,17 @@ fn main() {
                 // phases overlap remote applies, which is where the
                 // protocols' read-only guarantees actually differ.
                 .think_time(bcastdb_sim::SimDuration::from_millis(1))
+                .trace(TRACE_CAPACITY)
                 .seed(23)
                 .build();
             let run = WorkloadRun::new(cfg.clone(), 230 + (ro * 100.0) as u64);
             let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(3));
             assert!(report.quiesced, "{proto}@{ro} did not quiesce");
             assert!(report.all_terminated(), "{proto}@{ro} wedged transactions");
-            cluster.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            cluster
+                .check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
+            check_traced_run(&cluster, &format!("{proto}@ro{ro}"));
             let m = report.metrics;
             let ro_aborted = m.counters.get("aborts_readonly");
             table.row(&[

@@ -15,12 +15,15 @@
 //! | atomic    | `w(N-1)` causal writes + `1` submit + `(N-1)` ordered |
 //!
 //! This binary measures the real counts in the simulator and prints them
-//! next to the analytic values.
+//! next to the analytic values, decomposed per protocol phase (prepare /
+//! vote / ack / decision / retransmit / membership) so the table shows
+//! *where* each protocol spends its messages, not just how many.
 
-use bcastdb_bench::Table;
+use bcastdb_bench::{check_traced_run, phase_cells, phase_headers, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind, TxnSpec};
 use bcastdb_sim::{SimDuration, SiteId};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+use std::fmt::Display;
 
 const WRITES: usize = 2;
 
@@ -34,13 +37,17 @@ fn analytic(proto: ProtocolKind, n: u64, w: u64) -> u64 {
 }
 
 fn main() {
-    let mut table = Table::new(
-        "t1_messages",
-        &["sites", "protocol", "analytic", "measured", "per-site"],
-    );
+    let mut headers = vec!["sites", "protocol", "analytic", "measured", "per-site"];
+    headers.extend(phase_headers());
+    let mut table = Table::new("t1_messages", &headers);
     for n in [3usize, 5, 7, 9, 13] {
         for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder().sites(n).protocol(proto).seed(1).build();
+            let mut cluster = Cluster::builder()
+                .sites(n)
+                .protocol(proto)
+                .trace(TRACE_CAPACITY)
+                .seed(1)
+                .build();
             // One update transaction with WRITES writes from a
             // non-coordinator site.
             let mut spec = TxnSpec::new().read("r0");
@@ -51,15 +58,19 @@ fn main() {
             cluster.run_to_quiescence();
             assert!(cluster.is_committed(id), "{proto}@{n}: txn failed");
             cluster.check_serializability().expect("serializable");
+            check_traced_run(&cluster, &format!("{proto}@{n}"));
             let measured = cluster.messages_sent();
+            let pc = cluster.phase_counts();
+            // Lossless network: the per-phase totals account for every
+            // message the network carried.
+            assert_eq!(pc.total(), measured, "{proto}@{n}: phase accounting leak");
+            let name = proto.name();
             let a = analytic(proto, n as u64, WRITES as u64);
-            table.row(&[
-                &n,
-                &proto.name(),
-                &a,
-                &measured,
-                &format!("{:.1}", measured as f64 / n as f64),
-            ]);
+            let per_site = format!("{:.1}", measured as f64 / n as f64);
+            let phases = phase_cells(&pc);
+            let mut cells: Vec<&dyn Display> = vec![&n, &name, &a, &measured, &per_site];
+            cells.extend(phases.iter().map(|c| c as &dyn Display));
+            table.row(&cells);
         }
     }
     table.emit();
@@ -70,10 +81,9 @@ fn main() {
     );
 
     // Phase 2: messages per transaction amortized over a dense stream.
-    let mut table = Table::new(
-        "t1_messages_amortized",
-        &["sites", "protocol", "txns", "messages", "msgs_per_txn"],
-    );
+    let mut headers = vec!["sites", "protocol", "txns", "messages", "msgs_per_txn"];
+    headers.extend(phase_headers());
+    let mut table = Table::new("t1_messages_amortized", &headers);
     let cfg = WorkloadConfig {
         n_keys: 5000,
         theta: 0.0,
@@ -83,19 +93,24 @@ fn main() {
     };
     for n in [3usize, 5, 7, 9, 13] {
         for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder().sites(n).protocol(proto).seed(2).build();
+            let mut cluster = Cluster::builder()
+                .sites(n)
+                .protocol(proto)
+                .trace(TRACE_CAPACITY)
+                .seed(2)
+                .build();
             let run = WorkloadRun::new(cfg.clone(), 20 + n as u64);
             let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(5));
             assert!(report.quiesced, "{proto}@{n}");
             cluster.check_serializability().expect("serializable");
+            check_traced_run(&cluster, &format!("{proto}@{n} amortized"));
             let done = report.metrics.commits() + report.metrics.aborts();
-            table.row(&[
-                &n,
-                &proto.name(),
-                &done,
-                &report.messages,
-                &format!("{:.1}", report.messages as f64 / done.max(1) as f64),
-            ]);
+            let name = proto.name();
+            let per_txn = format!("{:.1}", report.messages as f64 / done.max(1) as f64);
+            let phases = phase_cells(&cluster.phase_counts());
+            let mut cells: Vec<&dyn Display> = vec![&n, &name, &done, &report.messages, &per_txn];
+            cells.extend(phases.iter().map(|c| c as &dyn Display));
+            table.row(&cells);
         }
     }
     table.emit();

@@ -10,11 +10,11 @@
 //! - commits after the crash (the majority keeps going),
 //! - and the blocked state of a minority partition.
 
-use bcastdb_bench::Table;
+use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::DetRng;
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
 use bcastdb_workload::WorkloadConfig;
-use bcastdb_sim::DetRng;
 
 const N: usize = 5;
 const CRASH_AT_US: u64 = 200_000;
@@ -42,6 +42,7 @@ fn main() {
             .seed(37)
             .membership(true)
             .suspect_after(SimDuration::from_millis(60))
+            .trace(TRACE_CAPACITY)
             .build();
         let cfg = WorkloadConfig {
             n_keys: 300,
@@ -68,10 +69,14 @@ fn main() {
         // Run until every survivor has evicted the crashed site.
         let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
         loop {
-            view_change_done = view_change_done + SimDuration::from_millis(5);
+            view_change_done += SimDuration::from_millis(5);
             cluster.run_until(view_change_done);
-            let all_evicted = (0..N - 1)
-                .all(|s| !cluster.replica(SiteId(s)).view_members().contains(&SiteId(N - 1)));
+            let all_evicted = (0..N - 1).all(|s| {
+                !cluster
+                    .replica(SiteId(s))
+                    .view_members()
+                    .contains(&SiteId(N - 1))
+            });
             if all_evicted {
                 break;
             }
@@ -80,8 +85,7 @@ fn main() {
                 "{proto}: view change never completed"
             );
         }
-        let view_change_ms =
-            (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
+        let view_change_ms = (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
         let aborted_by_view = cluster.metrics().counters.get("abort_view_change");
 
         // Post-crash load on the survivors.
@@ -97,6 +101,7 @@ fn main() {
         let post_commits = cluster.metrics().commits() - pre_commits;
         let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
         let serializable = cluster.check_serializability_among(&survivors).is_ok();
+        check_traced_run(&cluster, &format!("{proto} crash run"));
 
         table.row(&[
             &proto.name(),
@@ -115,6 +120,7 @@ fn main() {
         .seed(38)
         .membership(true)
         .suspect_after(SimDuration::from_millis(60))
+        .trace(TRACE_CAPACITY)
         .build();
     cluster.run_until(SimTime::from_micros(50_000));
     for s in 2..N {
@@ -122,6 +128,7 @@ fn main() {
     }
     cluster.run_until(SimTime::from_micros(600_000));
     let blocked = (0..2).all(|s| !cluster.replica(SiteId(s)).is_operational());
+    check_traced_run(&cluster, "minority partition");
     table.emit();
     println!("\nminority partition (2 of 5 survivors): blocked = {blocked}");
     assert!(blocked, "a minority view must not remain operational");

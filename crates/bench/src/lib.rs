@@ -1,12 +1,107 @@
+//! # bcastdb-bench
+//!
 //! Shared helpers for the experiment harness binaries (one per table /
-//! figure of the reproduced evaluation) and the Criterion micro-benches.
+//! figure of the reproduced evaluation — `t1_messages`, `t2_failures`,
+//! `f1_latency_vs_n` … `a3_loss_tolerance`) and the Criterion
+//! micro-benches.
+//!
+//! Every binary prints through [`Table`] (aligned console output, mirrored
+//! to `$BCASTDB_RESULTS_DIR/<name>.csv` when that variable is set), runs
+//! its clusters with tracing enabled ([`TRACE_CAPACITY`]), and validates
+//! each run with [`check_traced_run`]: the offline trace invariant checker
+//! must accept the execution and the per-phase message totals must sum to
+//! the flat counters. [`phase_headers`] / [`phase_cells`] append the
+//! per-phase breakdown (`prepare,vote,ack,decision,retransmit,membership`)
+//! as extra columns.
+//!
+//! # Example
+//!
+//! ```
+//! use bcastdb_bench::{phase_cells, phase_headers, Table};
+//! use bcastdb_core::{Cluster, ProtocolKind, TxnSpec};
+//! use bcastdb_sim::SiteId;
+//!
+//! let mut cluster = Cluster::builder()
+//!     .sites(3)
+//!     .protocol(ProtocolKind::ReliableBcast)
+//!     .trace(1024)
+//!     .seed(7)
+//!     .build();
+//! cluster.submit(SiteId(0), TxnSpec::new().write("x", 1));
+//! cluster.run_to_quiescence();
+//! bcastdb_bench::check_traced_run(&cluster, "doc-example");
+//!
+//! let mut headers = vec!["messages"];
+//! headers.extend(phase_headers());
+//! let mut table = Table::new("doc_example", &headers);
+//! let total = cluster.messages_sent().to_string();
+//! let mut cells: Vec<&dyn std::fmt::Display> = vec![&total];
+//! let phases = phase_cells(&cluster.phase_counts());
+//! cells.extend(phases.iter().map(|c| c as &dyn std::fmt::Display));
+//! table.row(&cells);
+//! table.emit();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bcastdb_core::Cluster;
+use bcastdb_sim::telemetry::{Phase, PhaseCounts};
 use std::fmt::Display;
 use std::fs;
 use std::path::Path;
+
+/// Ring-buffer capacity the experiment binaries pass to
+/// [`bcastdb_core::ClusterBuilder::trace`]. Only the retained tail is
+/// bounded by this; the streaming invariant checker sees every event.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// Per-phase breakdown column headers, in [`Phase::ALL`] order (the same
+/// order [`phase_cells`] emits), for appending to a table's header row.
+pub fn phase_headers() -> Vec<&'static str> {
+    Phase::ALL.iter().map(|p| p.name()).collect()
+}
+
+/// The per-phase message tallies as table cells, in [`Phase::ALL`] order.
+pub fn phase_cells(pc: &PhaseCounts) -> Vec<String> {
+    Phase::ALL.iter().map(|p| pc.get(*p).to_string()).collect()
+}
+
+/// Validates a traced experiment run: the trace invariant checker accepts
+/// the execution, and the per-phase totals sum to the flat per-kind
+/// message counters (the accounting identity every experiment relies on).
+///
+/// # Panics
+/// Panics with `label` on any violation — the experiments treat a bad
+/// trace as a harness bug, not a data point.
+pub fn check_traced_run(cluster: &Cluster, label: &str) {
+    cluster
+        .check_trace_invariants()
+        .unwrap_or_else(|v| panic!("{label}: trace invariant violated: {v}"));
+    check_phase_accounting(cluster, label);
+}
+
+/// Like [`check_traced_run`], but tolerates transactions still in flight —
+/// for experiments whose measured phenomenon *is* the wedged commit (the
+/// causal protocol with keep-alives off on a quiet network).
+///
+/// # Panics
+/// Panics with `label` on any other violation.
+pub fn check_traced_run_allowing_pending(cluster: &Cluster, label: &str) {
+    cluster
+        .check_trace_invariants_allowing_pending()
+        .unwrap_or_else(|v| panic!("{label}: trace invariant violated: {v}"));
+    check_phase_accounting(cluster, label);
+}
+
+fn check_phase_accounting(cluster: &Cluster, label: &str) {
+    let phases = cluster.phase_counts().total();
+    let flat = cluster.metrics().messages_by_kind();
+    assert_eq!(
+        phases, flat,
+        "{label}: per-phase totals ({phases}) must sum to the flat message counts ({flat})"
+    );
+}
 
 /// A simple aligned-column table printer with optional CSV mirroring.
 ///
@@ -36,7 +131,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Prints the table to stdout and mirrors it to CSV if

@@ -172,7 +172,13 @@ impl<P: Clone> SequencerAbcast<P> {
         out
     }
 
-    fn enqueue_ordered(&mut self, gseq: u64, id: MsgId, payload: P, out: &mut Output<P, SeqWire<P>>) {
+    fn enqueue_ordered(
+        &mut self,
+        gseq: u64,
+        id: MsgId,
+        payload: P,
+        out: &mut Output<P, SeqWire<P>>,
+    ) {
         if gseq >= self.next_gseq_deliver {
             self.holdback.insert(gseq, (id, payload));
         }
@@ -200,8 +206,10 @@ impl<P: Clone> AtomicBcast<P> for SequencerAbcast<P> {
             (id, self.order(id, payload))
         } else {
             let mut out = Output::empty();
-            out.outbound
-                .push(Outbound::to(self.sequencer, SeqWire::Submit { id, payload }));
+            out.outbound.push(Outbound::to(
+                self.sequencer,
+                SeqWire::Submit { id, payload },
+            ));
             (id, out)
         }
     }
@@ -338,14 +346,11 @@ impl<P: Clone> IsisAbcast<P> {
     /// Delivers finalized messages whose priority is minimal among all
     /// pending messages.
     fn drain_deliverable(&mut self, out: &mut Output<P, IsisWire<P>>) {
-        loop {
-            let Some((&id, entry)) = self
-                .pending
-                .iter()
-                .min_by_key(|(id, e)| (e.prio, id.origin, id.seq))
-            else {
-                break;
-            };
+        while let Some((&id, entry)) = self
+            .pending
+            .iter()
+            .min_by_key(|(id, e)| (e.prio, id.origin, id.seq))
+        {
             if !entry.is_final {
                 break;
             }
@@ -359,19 +364,16 @@ impl<P: Clone> IsisAbcast<P> {
         }
     }
 
-    fn collect_proposal(
-        &mut self,
-        id: MsgId,
-        prio: Priority,
-        out: &mut Output<P, IsisWire<P>>,
-    ) {
+    fn collect_proposal(&mut self, id: MsgId, prio: Priority, out: &mut Output<P, IsisWire<P>>) {
         let props = self.proposals.entry(id).or_default();
         props.push(prio);
         if props.len() == self.n {
             let final_prio = *props.iter().max().expect("non-empty");
             self.proposals.remove(&id);
-            out.outbound
-                .push(Outbound::others(IsisWire::Final { id, prio: final_prio }));
+            out.outbound.push(Outbound::others(IsisWire::Final {
+                id,
+                prio: final_prio,
+            }));
             self.finalize(id, final_prio, out);
         }
     }
@@ -456,9 +458,9 @@ mod tests {
         let mut logs: Vec<Vec<(u64, P)>> = vec![Vec::new(); n];
         let mut queue: VecDeque<(SiteId, SiteId, A::Wire)> = VecDeque::new();
         let push = |out: Output<P, A::Wire>,
-                        me: SiteId,
-                        logs: &mut Vec<Vec<(u64, P)>>,
-                        queue: &mut VecDeque<(SiteId, SiteId, A::Wire)>| {
+                    me: SiteId,
+                    logs: &mut Vec<Vec<(u64, P)>>,
+                    queue: &mut VecDeque<(SiteId, SiteId, A::Wire)>| {
             for d in out.deliveries {
                 logs[me.0].push((d.gseq, d.payload));
             }
@@ -502,7 +504,11 @@ mod tests {
         let mut es = seq_engines(3);
         let logs = run_fleet(
             &mut es,
-            vec![(1, "a".to_owned()), (2, "b".to_owned()), (0, "c".to_owned())],
+            vec![
+                (1, "a".to_owned()),
+                (2, "b".to_owned()),
+                (0, "c".to_owned()),
+            ],
         );
         assert_total_order(&logs, 3);
     }
@@ -512,7 +518,11 @@ mod tests {
         let mut es = isis_engines(3);
         let logs = run_fleet(
             &mut es,
-            vec![(1, "a".to_owned()), (2, "b".to_owned()), (0, "c".to_owned())],
+            vec![
+                (1, "a".to_owned()),
+                (2, "b".to_owned()),
+                (0, "c".to_owned()),
+            ],
         );
         assert_total_order(&logs, 3);
     }
@@ -547,24 +557,42 @@ mod tests {
     fn sequencer_self_broadcast_by_sequencer() {
         let mut e = SequencerAbcast::new(SiteId(0), 3);
         let (_, out) = e.broadcast("x".to_owned());
-        assert_eq!(out.deliveries.len(), 1, "sequencer delivers its own immediately");
+        assert_eq!(
+            out.deliveries.len(),
+            1,
+            "sequencer delivers its own immediately"
+        );
         assert_eq!(out.outbound.len(), 1);
     }
 
     #[test]
     fn sequencer_holdback_reorders_gseq() {
         let mut e = SequencerAbcast::<String>::new(SiteId(2), 3);
-        let id1 = MsgId { origin: SiteId(0), seq: 1 };
-        let id2 = MsgId { origin: SiteId(1), seq: 1 };
+        let id1 = MsgId {
+            origin: SiteId(0),
+            seq: 1,
+        };
+        let id2 = MsgId {
+            origin: SiteId(1),
+            seq: 1,
+        };
         // gseq 1 arrives before gseq 0 (cross-link reordering).
         let out = e.on_wire(
             SiteId(0),
-            SeqWire::Ordered { gseq: 1, id: id2, payload: "b".into() },
+            SeqWire::Ordered {
+                gseq: 1,
+                id: id2,
+                payload: "b".into(),
+            },
         );
         assert!(out.deliveries.is_empty());
         let out = e.on_wire(
             SiteId(0),
-            SeqWire::Ordered { gseq: 0, id: id1, payload: "a".into() },
+            SeqWire::Ordered {
+                gseq: 0,
+                id: id1,
+                payload: "a".into(),
+            },
         );
         let got: Vec<_> = out.deliveries.iter().map(|d| d.payload.as_str()).collect();
         assert_eq!(got, vec!["a", "b"]);
@@ -573,18 +601,42 @@ mod tests {
     #[test]
     fn sequencer_dedups_resubmission() {
         let mut e = SequencerAbcast::<String>::new(SiteId(0), 3);
-        let id = MsgId { origin: SiteId(1), seq: 1 };
-        let o1 = e.on_wire(SiteId(1), SeqWire::Submit { id, payload: "p".into() });
+        let id = MsgId {
+            origin: SiteId(1),
+            seq: 1,
+        };
+        let o1 = e.on_wire(
+            SiteId(1),
+            SeqWire::Submit {
+                id,
+                payload: "p".into(),
+            },
+        );
         assert_eq!(o1.outbound.len(), 1);
-        let o2 = e.on_wire(SiteId(1), SeqWire::Submit { id, payload: "p".into() });
+        let o2 = e.on_wire(
+            SiteId(1),
+            SeqWire::Submit {
+                id,
+                payload: "p".into(),
+            },
+        );
         assert!(o2.outbound.is_empty());
     }
 
     #[test]
     fn non_sequencer_ignores_submissions() {
         let mut e = SequencerAbcast::<String>::new(SiteId(1), 3);
-        let id = MsgId { origin: SiteId(2), seq: 1 };
-        let out = e.on_wire(SiteId(2), SeqWire::Submit { id, payload: "p".into() });
+        let id = MsgId {
+            origin: SiteId(2),
+            seq: 1,
+        };
+        let out = e.on_wire(
+            SiteId(2),
+            SeqWire::Submit {
+                id,
+                payload: "p".into(),
+            },
+        );
         assert!(out.outbound.is_empty());
         assert!(out.deliveries.is_empty());
     }
@@ -600,7 +652,10 @@ mod tests {
         }
         let (_, out) = es[1].broadcast("b".to_owned());
         assert_eq!(out.deliveries.len(), 1);
-        assert_eq!(out.deliveries[0].gseq, 1, "numbering continues after failover");
+        assert_eq!(
+            out.deliveries[0].gseq, 1,
+            "numbering continues after failover"
+        );
     }
 
     #[test]

@@ -115,8 +115,18 @@ mod tests {
         let (_, oa) = a.broadcast(1);
         let (_, ob) = b.broadcast(2);
         // Either arrival order delivers immediately: FIFO is per origin.
-        assert_eq!(r.on_wire(SiteId(1), ob.outbound[0].wire.clone()).deliveries.len(), 1);
-        assert_eq!(r.on_wire(SiteId(0), oa.outbound[0].wire.clone()).deliveries.len(), 1);
+        assert_eq!(
+            r.on_wire(SiteId(1), ob.outbound[0].wire.clone())
+                .deliveries
+                .len(),
+            1
+        );
+        assert_eq!(
+            r.on_wire(SiteId(0), oa.outbound[0].wire.clone())
+                .deliveries
+                .len(),
+            1
+        );
     }
 
     #[test]

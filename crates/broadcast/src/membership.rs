@@ -263,9 +263,7 @@ mod tests {
             m.heard_from(SiteId(s), t(0));
         }
         let (_, out) = m.tick(t(10));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o.wire, MemberWire::Heartbeat)));
+        assert!(out.iter().any(|o| matches!(o.wire, MemberWire::Heartbeat)));
         // Immediately after, no new beat.
         let (_, out) = m.tick(t(11));
         assert!(!out.iter().any(|o| matches!(o.wire, MemberWire::Heartbeat)));

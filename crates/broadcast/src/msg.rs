@@ -5,7 +5,9 @@ use std::fmt;
 
 /// Globally unique identifier of a broadcast message: the originating site
 /// plus a per-origin sequence number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct MsgId {
     /// Site that initiated the broadcast.
     pub origin: SiteId,
@@ -111,7 +113,10 @@ mod tests {
 
     #[test]
     fn expand_site_is_singleton() {
-        assert_eq!(expand_dest(Dest::Site(SiteId(2)), SiteId(0), 5), vec![SiteId(2)]);
+        assert_eq!(
+            expand_dest(Dest::Site(SiteId(2)), SiteId(0), 5),
+            vec![SiteId(2)]
+        );
     }
 
     #[test]

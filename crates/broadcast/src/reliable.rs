@@ -205,8 +205,8 @@ impl<P: Clone> ReliableBcast<P> {
     /// duplicate suppression makes over-sending harmless.
     pub fn retransmissions_for(&self, watermarks: &[u64], cap: usize) -> Vec<Wire<P>> {
         let mut out = Vec::new();
-        for origin in 0..watermarks.len().min(self.delivered_seq.len()) {
-            let mut next = watermarks[origin] + 1;
+        for (origin, &wm) in watermarks.iter().enumerate().take(self.delivered_seq.len()) {
+            let mut next = wm + 1;
             while out.len() < cap {
                 match self.archive.get(&(SiteId(origin), next)) {
                     Some(p) => out.push(Wire {

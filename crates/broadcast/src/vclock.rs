@@ -39,9 +39,7 @@ impl VectorClock {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "vector clock needs at least one site");
-        VectorClock {
-            counts: vec![0; n],
-        }
+        VectorClock { counts: vec![0; n] }
     }
 
     /// Number of sites this clock covers.
@@ -85,7 +83,11 @@ impl VectorClock {
     /// # Panics
     /// Panics if the clocks have different widths.
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.counts.len(), other.counts.len(), "clock width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "clock width mismatch"
+        );
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine = (*mine).max(*theirs);
         }
@@ -94,7 +96,11 @@ impl VectorClock {
     /// True iff every component of `self` is `<=` the corresponding
     /// component of `other` (i.e. `self` causally precedes or equals).
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
-        assert_eq!(self.counts.len(), other.counts.len(), "clock width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "clock width mismatch"
+        );
         self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 

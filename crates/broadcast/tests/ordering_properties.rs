@@ -129,9 +129,9 @@ proptest! {
                         links[to.0].push_back(ob.wire.clone());
                     }
                 }
-            } else if let Some(&to) = can_deliver.as_slice().first().filter(|_| true) {
+            } else if !can_deliver.is_empty() {
                 // Pick a random nonempty link.
-                let to = can_deliver[rng.gen_range(0..can_deliver.len())].max(to * 0);
+                let to = can_deliver[rng.gen_range(0..can_deliver.len())];
                 let wire = links[to].pop_front().expect("non-empty");
                 let out = engines[to].on_wire(SiteId(0), wire);
                 for d in out.deliveries {

@@ -8,7 +8,12 @@ use crate::placement::Placement;
 use crate::state::ConflictPolicy;
 use bcastdb_db::sg::SgViolation;
 use bcastdb_db::{HistoryRecorder, Key, TxnId, TxnSpec, Value};
+use bcastdb_sim::telemetry::{
+    PhaseCounts, RingSink, TraceEvent, TraceInvariants, TraceSink, TraceViolation, Tracer,
+};
 use bcastdb_sim::{NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// The fate of a submitted transaction, as known at its origin site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +63,10 @@ pub struct ClusterConfig {
     /// Replica placement: full replication (the paper's model, default) or
     /// partial replication on a deterministic ring.
     pub placement: Placement,
+    /// Structured tracing: `Some(capacity)` keeps the last `capacity`
+    /// events in a ring buffer and feeds every event through the streaming
+    /// invariant checker; `None` (default) disables tracing entirely.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -77,6 +86,7 @@ impl Default for ClusterConfig {
             relay: false,
             think_time: SimDuration::ZERO,
             placement: Placement::Full,
+            trace_capacity: None,
         }
     }
 }
@@ -172,6 +182,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables structured tracing: the last `capacity` events are retained
+    /// for inspection via [`Cluster::trace_events`], and *every* event
+    /// (retained or evicted) streams through the trace invariant checker
+    /// queried via [`Cluster::check_trace_invariants`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -181,12 +200,29 @@ impl ClusterBuilder {
     }
 }
 
+/// The cluster's composite trace sink: a bounded ring buffer for
+/// inspection plus the streaming invariant checker, which sees every event
+/// (its memory is bounded by links and transactions, not events, so it
+/// survives arbitrarily long runs that overflow the ring).
+struct ClusterSink {
+    ring: RingSink,
+    inv: TraceInvariants,
+}
+
+impl TraceSink for ClusterSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.ring.record(ev);
+        self.inv.ingest(ev);
+    }
+}
+
 /// A simulated replicated-database cluster.
 pub struct Cluster {
     sim: Simulation<ReplicaNode>,
     cfg: ClusterConfig,
     next_num: Vec<u64>,
     last_submit: Vec<SimTime>,
+    trace: Option<Rc<RefCell<ClusterSink>>>,
 }
 
 impl Cluster {
@@ -218,6 +254,17 @@ impl Cluster {
             .map(|i| ReplicaNode::new(SiteId(i), cfg.sites, node_cfg.clone()))
             .collect();
         let mut sim = Simulation::new(cfg.seed, cfg.net.clone(), nodes);
+        let trace = cfg.trace_capacity.map(|capacity| {
+            let sink = Rc::new(RefCell::new(ClusterSink {
+                ring: RingSink::new(capacity),
+                inv: TraceInvariants::new(),
+            }));
+            let tracer = Tracer::new(sink.clone());
+            for i in 0..cfg.sites {
+                sim.node_mut(SiteId(i)).state_mut().tracer = tracer.clone();
+            }
+            sink
+        });
         if cfg.membership {
             // Bootstrap the heartbeat machinery: one staggered initial tick
             // per site (afterwards each node re-arms its own ticks).
@@ -234,6 +281,7 @@ impl Cluster {
             next_num: vec![0; cfg.sites],
             last_submit: vec![SimTime::ZERO; cfg.sites],
             cfg,
+            trace,
         }
     }
 
@@ -276,7 +324,8 @@ impl Cluster {
         self.last_submit[site.0] = at;
         self.next_num[site.0] += 1;
         let id = TxnId::new(site, self.next_num[site.0]);
-        self.sim.schedule_timer(at, site, ReplicaTimer::Submit(spec));
+        self.sim
+            .schedule_timer(at, site, ReplicaTimer::Submit(spec));
         id
     }
 
@@ -306,6 +355,14 @@ impl Cluster {
 
     /// Crashes a site (fail-stop): it stops sending and receiving.
     pub fn crash(&mut self, site: SiteId) {
+        if let Some(sink) = &self.trace {
+            // Recorded so the invariant checker knows lost transactions are
+            // expected (a crash relaxes the must-terminate invariant).
+            sink.borrow_mut().record(&TraceEvent::Crash {
+                at: self.sim.now(),
+                site,
+            });
+        }
         self.sim.network_mut().crash(site);
     }
 
@@ -415,6 +472,54 @@ impl Cluster {
         self.sim.network().messages_sent()
     }
 
+    /// Per-phase message totals, merged across all sites. Always sums to
+    /// the flat per-kind counters — both are incremented at the single
+    /// send site in the engine.
+    pub fn phase_counts(&self) -> PhaseCounts {
+        self.metrics().phase_counts()
+    }
+
+    /// The retained tail of the trace (empty when tracing is off; bounded
+    /// by the capacity passed to [`ClusterBuilder::trace`]).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.borrow().ring.to_vec())
+    }
+
+    /// Events dropped from the ring so far (the invariant checker still
+    /// saw them).
+    pub fn trace_evicted(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |s| s.borrow().ring.evicted())
+    }
+
+    /// Runs the streaming trace invariant checker over everything traced
+    /// so far: every delivery was sent, every submitted transaction
+    /// terminated exactly once (unless a crash was recorded), and commit
+    /// order agrees with atomic-broadcast delivery order. Trivially `Ok`
+    /// when tracing is off.
+    ///
+    /// # Errors
+    /// Returns the first [`TraceViolation`] found.
+    pub fn check_trace_invariants(&self) -> Result<(), TraceViolation> {
+        self.trace
+            .as_ref()
+            .map_or(Ok(()), |s| s.borrow().inv.check())
+    }
+
+    /// Like [`Cluster::check_trace_invariants`], but tolerates submitted
+    /// transactions still in flight — for experiments that deliberately
+    /// end with wedged transactions (e.g. the causal protocol with
+    /// keep-alives disabled on a quiet network).
+    ///
+    /// # Errors
+    /// Returns the first [`TraceViolation`] found.
+    pub fn check_trace_invariants_allowing_pending(&self) -> Result<(), TraceViolation> {
+        self.trace
+            .as_ref()
+            .map_or(Ok(()), |s| s.borrow().inv.check_allowing_pending())
+    }
+
     /// Direct access to a replica (stores, logs, lock tables).
     pub fn replica(&self, site: SiteId) -> &ReplicaNode {
         self.sim.node(site)
@@ -519,7 +624,8 @@ mod tests {
                 );
             }
             assert!(c.replicas_converged(), "{proto}: replicas diverged");
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
         }
     }
 
@@ -559,7 +665,8 @@ mod tests {
             for s in c.sites() {
                 assert_eq!(c.committed_value(s, "x"), Some(30), "{proto} at {s}");
             }
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
         }
     }
 
@@ -579,7 +686,8 @@ mod tests {
                 .count();
             assert_eq!(done, 2, "{proto}: transactions left pending");
             assert!(c.replicas_converged(), "{proto}: replicas diverged");
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
         }
     }
 
@@ -601,10 +709,44 @@ mod tests {
                 );
             }
             c.run_to_quiescence();
-            (c.events_processed(), c.messages_sent(), c.metrics().commits())
+            (
+                c.events_processed(),
+                c.messages_sent(),
+                c.metrics().commits(),
+            )
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).0, 0);
+    }
+
+    /// Tracing captures a run, the invariant checker accepts it, and the
+    /// per-phase totals agree with both the flat counters and the network.
+    #[test]
+    fn tracing_records_and_validates_a_run() {
+        for proto in ProtocolKind::ALL {
+            let mut c = Cluster::builder()
+                .sites(3)
+                .protocol(proto)
+                .trace(10_000)
+                .seed(7)
+                .build();
+            let id = c.submit(SiteId(0), write_txn("x", 1));
+            c.run_to_quiescence();
+            assert!(c.is_committed(id), "{proto}");
+            c.check_trace_invariants()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
+            assert!(!c.trace_events().is_empty(), "{proto}: no events traced");
+            assert_eq!(
+                c.phase_counts().total(),
+                c.metrics().messages_by_kind(),
+                "{proto}: phase totals must sum to the flat kind totals"
+            );
+            assert_eq!(
+                c.phase_counts().total(),
+                c.messages_sent(),
+                "{proto}: lossless run, counters must match the network"
+            );
+        }
     }
 
     #[test]

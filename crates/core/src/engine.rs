@@ -4,11 +4,14 @@
 
 use crate::metrics::AbortReason;
 use crate::payload::{AbcastImpl, ProtocolKind, ReplicaMsg, ReplicaTimer};
-use crate::protocols::{atomic::AtomicProto, causal::CausalProto, p2p::P2pProto, reliable::ReliableProto, Effects};
+use crate::protocols::{
+    atomic::AtomicProto, causal::CausalProto, p2p::P2pProto, reliable::ReliableProto, Effects,
+};
 use crate::state::{ConflictPolicy, SiteState};
 use bcastdb_broadcast::membership::{MemberEvent, ViewManager};
 use bcastdb_broadcast::msg::expand_dest;
-use bcastdb_sim::{Ctx, Node, SimDuration, SimTime, SiteId};
+use bcastdb_sim::telemetry::TraceEvent;
+use bcastdb_sim::{Ctx, Node, SendOutcome, SimDuration, SimTime, SiteId};
 use std::collections::BTreeSet;
 
 /// Per-node configuration (derived from the cluster config).
@@ -126,9 +129,9 @@ impl ReplicaNode {
         };
         st.think = cfg.think_time;
         st.placement = cfg.placement;
-        let member = cfg.membership.then(|| {
-            ViewManager::new(me, n, cfg.tick_every, cfg.suspect_after)
-        });
+        let member = cfg
+            .membership
+            .then(|| ViewManager::new(me, n, cfg.tick_every, cfg.suspect_after));
         ReplicaNode {
             st,
             proto,
@@ -158,7 +161,7 @@ impl ReplicaNode {
 
     /// True while this site may process transactions (in a majority view).
     pub fn is_operational(&self) -> bool {
-        self.member.as_ref().map_or(true, |m| m.is_operational())
+        self.member.as_ref().is_none_or(|m| m.is_operational())
     }
 
     /// Captures everything a recovering replica needs from this one (state
@@ -198,7 +201,12 @@ impl ReplicaNode {
         self.st.local.clear();
         self.st.remote.clear();
         self.st.locks = bcastdb_db::LockManager::new();
-        match (&mut self.proto, snap.reliable, snap.causal_clock, snap.atomic) {
+        match (
+            &mut self.proto,
+            snap.reliable,
+            snap.causal_clock,
+            snap.atomic,
+        ) {
             (Proto::Reliable(p), Some(w), _, _) => p.resume(&w, snap.view.clone()),
             (Proto::Causal(p), _, Some(vc), _) => p.resume(&vc, snap.view.clone()),
             (Proto::Atomic(p), _, _, Some(s)) => p.resume(&s, snap.view.clone()),
@@ -218,14 +226,33 @@ impl ReplicaNode {
         for id in fx.write_pauses {
             ctx.set_timer(self.cfg.think_time, ReplicaTimer::WriteStep(id));
         }
+        let me = ctx.me();
+        let now = ctx.now();
         for (dest, msg) in fx.sends {
             let kind = msg.kind();
-            for to in expand_dest(dest, ctx.me(), ctx.n_sites()) {
-                if to == ctx.me() {
+            let phase = msg.phase();
+            for to in expand_dest(dest, me, ctx.n_sites()) {
+                if to == me {
                     continue; // self-deliveries are handled internally
                 }
-                self.st.metrics.counters.incr(kind);
-                ctx.send(to, msg.clone());
+                // Kind and phase counters move together at this single call
+                // site, so the per-phase totals sum to the flat counts by
+                // construction.
+                self.st.metrics.record_send(kind, phase);
+                self.st.tracer.emit(|| TraceEvent::Send {
+                    at: now,
+                    from: me,
+                    to,
+                    phase,
+                });
+                if ctx.send(to, msg.clone()) == SendOutcome::Dropped {
+                    self.st.tracer.emit(|| TraceEvent::Drop {
+                        at: now,
+                        from: me,
+                        to,
+                        phase,
+                    });
+                }
             }
         }
     }
@@ -262,6 +289,13 @@ impl ReplicaNode {
             match ev {
                 MemberEvent::ViewInstalled(view) => {
                     let members = view.members;
+                    let me = self.st.me;
+                    let roster: Vec<SiteId> = members.iter().copied().collect();
+                    self.st.tracer.emit(move || TraceEvent::ViewChange {
+                        at: now,
+                        site: me,
+                        members: roster,
+                    });
                     match &mut self.proto {
                         Proto::P2p(p) => {
                             // Baseline: abort in-flight txns from departed
@@ -271,8 +305,7 @@ impl ReplicaNode {
                                 .remote
                                 .keys()
                                 .filter(|t| {
-                                    !members.contains(&t.origin)
-                                        && !self.st.decided.contains_key(t)
+                                    !members.contains(&t.origin) && !self.st.decided.contains_key(t)
                                 })
                                 .copied()
                                 .collect();
@@ -295,12 +328,7 @@ impl ReplicaNode {
                 MemberEvent::Isolated => {
                     // Outside every majority view: abort everything pending
                     // locally; the site blocks until it rejoins.
-                    let pending: Vec<_> = self
-                        .st
-                        .local
-                        .keys()
-                        .copied()
-                        .collect();
+                    let pending: Vec<_> = self.st.local.keys().copied().collect();
                     for txn in pending {
                         let mut events = Vec::new();
                         self.st
@@ -334,12 +362,25 @@ impl Node for ReplicaNode {
     type Msg = ReplicaMsg;
     type Timer = ReplicaTimer;
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>, from: SiteId, msg: ReplicaMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>,
+        from: SiteId,
+        msg: ReplicaMsg,
+    ) {
         let now = ctx.now();
         let mut fx = Effects::new();
         if let Some(m) = &mut self.member {
             m.heard_from(from, now);
         }
+        let me = ctx.me();
+        let phase = msg.phase();
+        self.st.tracer.emit(|| TraceEvent::Deliver {
+            at: now,
+            from,
+            to: me,
+            phase,
+        });
         match (msg, &mut self.proto) {
             (ReplicaMsg::R(wire), Proto::Reliable(p)) => {
                 p.on_wire(&mut self.st, &mut fx, now, from, wire)
@@ -356,9 +397,7 @@ impl Node for ReplicaNode {
             (ReplicaMsg::AIsis(wire), Proto::Atomic(p)) => {
                 p.on_isis_wire(&mut self.st, &mut fx, now, from, wire)
             }
-            (ReplicaMsg::P2p(m), Proto::P2p(p)) => {
-                p.on_msg(&mut self.st, &mut fx, now, from, m)
-            }
+            (ReplicaMsg::P2p(m), Proto::P2p(p)) => p.on_msg(&mut self.st, &mut fx, now, from, m),
             (ReplicaMsg::CRetrans(wire), Proto::Causal(p)) => {
                 p.on_retrans_wire(&mut self.st, &mut fx, now, from, wire)
             }

@@ -1,5 +1,6 @@
 //! Per-site protocol metrics.
 
+use bcastdb_sim::telemetry::{Phase, PhaseCounts};
 use bcastdb_sim::trace::{Counters, LatencyStats};
 use bcastdb_sim::SimDuration;
 use std::fmt;
@@ -82,6 +83,34 @@ impl Metrics {
         self.counters.incr(reason.counter());
     }
 
+    /// Records one outgoing point-to-point message under both its
+    /// fine-grained kind (`msg_*`) and its protocol [`Phase`]
+    /// (`phase_*`). Incrementing both at the same call site is what
+    /// guarantees the per-phase totals sum to the flat per-kind totals.
+    pub fn record_send(&mut self, kind: &'static str, phase: Phase) {
+        self.counters.incr(kind);
+        self.counters.incr(phase.counter());
+    }
+
+    /// The per-phase message tally recorded via [`Metrics::record_send`].
+    pub fn phase_counts(&self) -> PhaseCounts {
+        let mut pc = PhaseCounts::default();
+        for p in Phase::ALL {
+            pc.add(p, self.counters.get(p.counter()));
+        }
+        pc
+    }
+
+    /// Total messages recorded under the fine-grained `msg_*` kinds —
+    /// always equal to [`Metrics::phase_counts`]`.total()`.
+    pub fn messages_by_kind(&self) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("msg_"))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     /// Total commits (update + read-only).
     pub fn commits(&self) -> u64 {
         self.counters.get("commits_update") + self.counters.get("commits_readonly")
@@ -148,6 +177,21 @@ mod tests {
     }
 
     #[test]
+    fn phase_totals_match_kind_totals() {
+        let mut m = Metrics::new();
+        m.record_send("msg_write", Phase::Prepare);
+        m.record_send("msg_write", Phase::Prepare);
+        m.record_send("msg_vote", Phase::Vote);
+        m.record_send("msg_null", Phase::Ack);
+        let pc = m.phase_counts();
+        assert_eq!(pc.prepare, 2);
+        assert_eq!(pc.vote, 1);
+        assert_eq!(pc.ack, 1);
+        assert_eq!(pc.total(), 4);
+        assert_eq!(m.messages_by_kind(), 4);
+    }
+
+    #[test]
     fn all_reasons_have_distinct_counters() {
         use AbortReason::*;
         let reasons = [
@@ -159,8 +203,7 @@ mod tests {
             ViewChange,
             WaitDie,
         ];
-        let names: std::collections::HashSet<&str> =
-            reasons.iter().map(|r| r.counter()).collect();
+        let names: std::collections::HashSet<&str> = reasons.iter().map(|r| r.counter()).collect();
         assert_eq!(names.len(), reasons.len());
     }
 }

@@ -5,6 +5,7 @@ use bcastdb_broadcast::atomic::{IsisWire, SeqWire};
 use bcastdb_broadcast::membership::MemberWire;
 use bcastdb_broadcast::{causal, reliable};
 use bcastdb_db::{Key, TxnId, TxnSpec, WriteOp};
+use bcastdb_sim::telemetry::Phase;
 use bcastdb_sim::SiteId;
 
 /// Which of the paper's protocols a cluster runs.
@@ -262,6 +263,55 @@ impl ReplicaMsg {
             Payload::Null => "msg_null",
         }
     }
+
+    /// The protocol [`Phase`] this message belongs to — the typed bucket
+    /// used for per-phase traffic accounting. The mapping follows the
+    /// paper's cost decomposition:
+    ///
+    /// - **prepare** — disseminating a transaction's effects: write
+    ///   operations, commit requests, and the payload-carrying legs of the
+    ///   atomic broadcast (sequencer submissions, ISIS data),
+    /// - **vote** — explicit 2PC votes,
+    /// - **ack** — acknowledgement-shaped control traffic: per-operation
+    ///   write acks (baseline), negative acknowledgements and null
+    ///   keep-alives (causal), ISIS priority proposals,
+    /// - **decision** — outcome propagation: abort decisions, the
+    ///   sequencer's orderings, ISIS final priorities,
+    /// - **retransmit** — loss recovery: retransmitted causal wires and
+    ///   reliable-broadcast watermark syncs,
+    /// - **membership** — heartbeats and view agreement.
+    pub fn phase(&self) -> Phase {
+        match self {
+            ReplicaMsg::R(w) => Self::payload_phase(&w.payload),
+            ReplicaMsg::C(w) => Self::payload_phase(&w.payload),
+            ReplicaMsg::ASeq(w) => match w {
+                SeqWire::Submit { .. } => Phase::Prepare,
+                SeqWire::Ordered { .. } => Phase::Decision,
+            },
+            ReplicaMsg::AIsis(w) => match w {
+                IsisWire::Data { .. } => Phase::Prepare,
+                IsisWire::Propose { .. } => Phase::Ack,
+                IsisWire::Final { .. } => Phase::Decision,
+            },
+            ReplicaMsg::P2p(m) => match m {
+                P2pMsg::Write { .. } | P2pMsg::CommitReq { .. } => Phase::Prepare,
+                P2pMsg::WriteAck { .. } => Phase::Ack,
+                P2pMsg::Vote { .. } => Phase::Vote,
+                P2pMsg::Abort { .. } => Phase::Decision,
+            },
+            ReplicaMsg::Member(_) => Phase::Membership,
+            ReplicaMsg::RSync(_) | ReplicaMsg::CRetrans(_) => Phase::Retransmit,
+        }
+    }
+
+    fn payload_phase(p: &Payload) -> Phase {
+        match p {
+            Payload::Write { .. } | Payload::CommitReq { .. } => Phase::Prepare,
+            Payload::Vote { .. } => Phase::Vote,
+            Payload::Nack { .. } | Payload::Null => Phase::Ack,
+            Payload::AbortDecision { .. } => Phase::Decision,
+        }
+    }
 }
 
 /// Timer tags of a replica node.
@@ -285,9 +335,21 @@ mod tests {
 
     #[test]
     fn priority_orders_by_age_then_site() {
-        let a = TxnPriority { ts: 5, origin: SiteId(1), num: 1 };
-        let b = TxnPriority { ts: 9, origin: SiteId(0), num: 1 };
-        let c = TxnPriority { ts: 5, origin: SiteId(2), num: 1 };
+        let a = TxnPriority {
+            ts: 5,
+            origin: SiteId(1),
+            num: 1,
+        };
+        let b = TxnPriority {
+            ts: 9,
+            origin: SiteId(0),
+            num: 1,
+        };
+        let c = TxnPriority {
+            ts: 5,
+            origin: SiteId(2),
+            num: 1,
+        };
         assert!(a.older_than(&b), "earlier timestamp wins");
         assert!(a.older_than(&c), "site breaks timestamp ties");
         assert!(!b.older_than(&a));
@@ -310,5 +372,79 @@ mod tests {
     #[test]
     fn abcast_impl_defaults_to_sequencer() {
         assert_eq!(AbcastImpl::default(), AbcastImpl::Sequencer);
+    }
+
+    #[test]
+    fn every_message_maps_to_its_documented_phase() {
+        use bcastdb_broadcast::msg::MsgId;
+        let t = TxnId::new(SiteId(0), 1);
+        let id = MsgId {
+            origin: SiteId(0),
+            seq: 1,
+        };
+        let wire = |p: Payload| reliable::Wire { id, payload: p };
+        let cases: Vec<(ReplicaMsg, Phase)> = vec![
+            (
+                ReplicaMsg::R(wire(Payload::Write {
+                    txn: t,
+                    prio: TxnPriority {
+                        ts: 0,
+                        origin: SiteId(0),
+                        num: 1,
+                    },
+                    op: WriteOp {
+                        key: Key::new("x"),
+                        value: 1,
+                    },
+                    index: 0,
+                    of: 1,
+                })),
+                Phase::Prepare,
+            ),
+            (
+                ReplicaMsg::R(wire(Payload::Vote {
+                    txn: t,
+                    site: SiteId(1),
+                    yes: true,
+                })),
+                Phase::Vote,
+            ),
+            (
+                ReplicaMsg::R(wire(Payload::Nack {
+                    txn: t,
+                    site: SiteId(1),
+                })),
+                Phase::Ack,
+            ),
+            (ReplicaMsg::R(wire(Payload::Null)), Phase::Ack),
+            (
+                ReplicaMsg::R(wire(Payload::AbortDecision { txn: t })),
+                Phase::Decision,
+            ),
+            (
+                ReplicaMsg::ASeq(SeqWire::Submit {
+                    id,
+                    payload: Payload::Null,
+                }),
+                Phase::Prepare,
+            ),
+            (
+                ReplicaMsg::ASeq(SeqWire::Ordered {
+                    gseq: 1,
+                    id,
+                    payload: Payload::Null,
+                }),
+                Phase::Decision,
+            ),
+            (
+                ReplicaMsg::P2p(P2pMsg::WriteAck { txn: t, index: 0 }),
+                Phase::Ack,
+            ),
+            (ReplicaMsg::P2p(P2pMsg::Abort { txn: t }), Phase::Decision),
+            (ReplicaMsg::RSync(vec![0, 0]), Phase::Retransmit),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(msg.phase(), want, "{:?}", msg.kind());
+        }
     }
 }

@@ -21,9 +21,10 @@ use bcastdb_sim::SiteId;
 use std::collections::BTreeSet;
 
 /// How keys map to replica sites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Every site stores every key (the paper's model; the default).
+    #[default]
     Full,
     /// Each key is stored by `replicas` sites chosen deterministically
     /// (a hash of the key selects a start position on the site ring).
@@ -31,12 +32,6 @@ pub enum Placement {
         /// Copies per key (clamped to the site count at evaluation time).
         replicas: usize,
     },
-}
-
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::Full
-    }
 }
 
 /// FNV-1a — a tiny deterministic hash, stable across runs and platforms.
@@ -113,9 +108,9 @@ mod tests {
         for i in 0..30 {
             let k = Key::new(format!("key{i}"));
             let hs: Vec<usize> = p.holders(&k, n).iter().map(|s| s.0).collect();
-            let consecutive = (0..n).any(|start| {
-                (0..2).all(|off| hs.contains(&((start + off) % n)))
-            }) && hs.len() == 2;
+            let consecutive = (0..n)
+                .any(|start| (0..2).all(|off| hs.contains(&((start + off) % n))))
+                && hs.len() == 2;
             assert!(consecutive, "{k}: {hs:?}");
         }
     }

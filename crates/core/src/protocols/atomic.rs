@@ -26,7 +26,7 @@
 use crate::metrics::AbortReason;
 use crate::payload::{AbcastImpl, Payload, ReplicaMsg, TxnPriority};
 use crate::protocols::Effects;
-use crate::state::{LocalEvent, SiteState};
+use crate::state::{txn_ref, LocalEvent, SiteState};
 use bcastdb_broadcast::atomic::{
     AtomicBcast, IsisAbcast, IsisWire, SeqWire, SequencerAbcast, TotalDelivery,
 };
@@ -34,6 +34,7 @@ use bcastdb_broadcast::causal::{self, CausalBcast};
 use bcastdb_db::lock::LockMode;
 use bcastdb_db::sg::ObservedVersion;
 use bcastdb_db::{Key, TxnId};
+use bcastdb_sim::telemetry::TraceEvent;
 use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -286,7 +287,13 @@ impl AtomicProto {
         }
     }
 
-    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+    fn pump(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        mut work: VecDeque<Work>,
+    ) {
         while let Some(item) = work.pop_front() {
             match item {
                 Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
@@ -328,7 +335,7 @@ impl AtomicProto {
         id: TxnId,
         work: &mut VecDeque<Work>,
     ) {
-        if st.local.get(&id).is_none() {
+        if !st.local.contains_key(&id) {
             return;
         }
         // Read locks are released now: from here on the version vectors in
@@ -350,8 +357,14 @@ impl AtomicProto {
     }
 
     /// Resumes a paced write phase (next step after think time).
-    pub fn continue_write(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, id: TxnId) {
-        if st.decided.contains_key(&id) || st.local.get(&id).is_none() {
+    pub fn continue_write(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        id: TxnId,
+    ) {
+        if st.decided.contains_key(&id) || !st.local.contains_key(&id) {
             self.writing.remove(&id);
             return;
         }
@@ -383,11 +396,11 @@ impl AtomicProto {
         let read_versions = local.reads_observed.clone();
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
-        for index in start..end {
+        for (index, op) in writes.iter().enumerate().take(end).skip(start) {
             let (_, out) = self.cb.broadcast(Payload::Write {
                 txn: id,
                 prio,
-                op: writes[index].clone(),
+                op: op.clone(),
                 index,
                 of: n_writes,
             });
@@ -422,7 +435,10 @@ impl AtomicProto {
         d: causal::Delivery<Payload>,
         work: &mut VecDeque<Work>,
     ) {
-        if let Payload::Write { txn, prio, op, of, .. } = d.payload {
+        if let Payload::Write {
+            txn, prio, op, of, ..
+        } = d.payload
+        {
             if st.decided.contains_key(&txn) {
                 return;
             }
@@ -450,6 +466,14 @@ impl AtomicProto {
             write_versions,
         } = d.payload
         {
+            let gseq = d.gseq;
+            let me = st.me;
+            st.tracer.emit(|| TraceEvent::TotalOrder {
+                at: now,
+                site: me,
+                txn: txn_ref(txn),
+                gseq,
+            });
             self.cert_queue.push_back(PendingCert {
                 txn,
                 prio,
@@ -489,6 +513,7 @@ impl AtomicProto {
                 .iter()
                 .chain(head.write_versions.iter())
                 .all(|(key, expected)| self.latest_writer.get(key).copied() == *expected);
+            st.trace_vote(txn, pass, now);
             let mut events = Vec::new();
             if pass {
                 self.wound_conflicting_readers(st, &head, now, &mut events);
@@ -558,7 +583,9 @@ mod tests {
                 st.wound_remote = false;
             }
             Rig {
-                protos: (0..n).map(|i| AtomicProto::new(SiteId(i), n, imp)).collect(),
+                protos: (0..n)
+                    .map(|i| AtomicProto::new(SiteId(i), n, imp))
+                    .collect(),
                 states,
                 wires: Q::new(),
             }
@@ -588,9 +615,13 @@ mod tests {
                 let mut fx = Effects::new();
                 let t = SimTime::from_micros(2);
                 match msg {
-                    ReplicaMsg::C(w) => {
-                        self.protos[to.0].on_causal_wire(&mut self.states[to.0], &mut fx, t, from, w)
-                    }
+                    ReplicaMsg::C(w) => self.protos[to.0].on_causal_wire(
+                        &mut self.states[to.0],
+                        &mut fx,
+                        t,
+                        from,
+                        w,
+                    ),
                     ReplicaMsg::ASeq(w) => {
                         self.protos[to.0].on_seq_wire(&mut self.states[to.0], &mut fx, t, from, w)
                     }
@@ -628,7 +659,11 @@ mod tests {
         let a = rig.submit(0, 10, TxnSpec::new().write("x", 1));
         let b = rig.submit(1, 20, TxnSpec::new().write("x", 2));
         rig.settle();
-        let (winner, loser) = if rig.states[0].decided[&a] { (a, b) } else { (b, a) };
+        let (winner, loser) = if rig.states[0].decided[&a] {
+            (a, b)
+        } else {
+            (b, a)
+        };
         for (i, st) in rig.states.iter().enumerate() {
             assert_eq!(st.decided.get(&winner), Some(&true), "site {i}");
             assert_eq!(st.decided.get(&loser), Some(&false), "site {i}");
@@ -672,7 +707,11 @@ mod tests {
         let mut rig = Rig::new(4, AbcastImpl::Isis);
         let mut ids = Vec::new();
         for i in 0..4 {
-            ids.push(rig.submit(i, 10 + i as u64, TxnSpec::new().write(format!("k{i}").as_str(), i as i64)));
+            ids.push(rig.submit(
+                i,
+                10 + i as u64,
+                TxnSpec::new().write(format!("k{i}").as_str(), i as i64),
+            ));
         }
         rig.settle();
         // Disjoint keys: all four commit, and every site installed each key

@@ -193,10 +193,7 @@ impl CausalProto {
         // unretransmitted) nulls trigger this — reacting to every wire
         // would let stale retransmitted clocks solicit retransmissions of
         // their own, a storm that never drains.
-        if self.recover_losses
-            && from == wire.id.origin
-            && matches!(wire.payload, Payload::Null)
-        {
+        if self.recover_losses && from == wire.id.origin && matches!(wire.payload, Payload::Null) {
             // Only our *own* missing messages are retransmitted from here:
             // with every site answering for every gap, a lossy cluster
             // floods itself — one authoritative responder per message is
@@ -265,12 +262,7 @@ impl CausalProto {
         self.route(fx, out, work);
     }
 
-    fn route(
-        &mut self,
-        fx: &mut Effects,
-        out: causal::Output<Payload>,
-        work: &mut VecDeque<Work>,
-    ) {
+    fn route(&mut self, fx: &mut Effects, out: causal::Output<Payload>, work: &mut VecDeque<Work>) {
         for ob in out.outbound {
             fx.send(ob.dest, ReplicaMsg::C(ob.wire));
         }
@@ -279,7 +271,13 @@ impl CausalProto {
         }
     }
 
-    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+    fn pump(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        mut work: VecDeque<Work>,
+    ) {
         while let Some(item) = work.pop_front() {
             match item {
                 Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
@@ -310,7 +308,10 @@ impl CausalProto {
             LocalEvent::RemoteDoomed(..) => {
                 // Cannot happen: wound_remote is disabled for this protocol
                 // (site-local wounds cannot be published without votes).
-                debug_assert!(false, "causal protocol must not doom broadcast transactions");
+                debug_assert!(
+                    false,
+                    "causal protocol must not doom broadcast transactions"
+                );
             }
             LocalEvent::RemoteKeyGranted(..) => {}
             LocalEvent::ReadPaused(id) => fx.pauses.push(id),
@@ -324,7 +325,7 @@ impl CausalProto {
         id: TxnId,
         work: &mut VecDeque<Work>,
     ) {
-        if st.local.get(&id).is_none() {
+        if !st.local.contains_key(&id) {
             return;
         }
         if st.think.is_zero() {
@@ -339,8 +340,14 @@ impl CausalProto {
     }
 
     /// Resumes a paced write phase (next step after think time).
-    pub fn continue_write(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, id: TxnId) {
-        if st.decided.contains_key(&id) || st.local.get(&id).is_none() {
+    pub fn continue_write(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        id: TxnId,
+    ) {
+        if st.decided.contains_key(&id) || !st.local.contains_key(&id) {
             self.writing.remove(&id);
             return;
         }
@@ -371,13 +378,13 @@ impl CausalProto {
         let n_writes = writes.len();
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
-        for index in start..end {
+        for (index, op) in writes.iter().enumerate().take(end).skip(start) {
             self.bcast(
                 fx,
                 Payload::Write {
                     txn: id,
                     prio,
-                    op: writes[index].clone(),
+                    op: op.clone(),
                     index,
                     of: n_writes,
                 },
@@ -458,10 +465,17 @@ impl CausalProto {
         self.absorb_implicit_acks(st, now, sender, &d.vc, work);
 
         match d.payload {
-            Payload::Write { txn, prio, op, of, .. } => {
+            Payload::Write {
+                txn, prio, op, of, ..
+            } => {
                 self.on_write(st, fx, now, txn, prio, op, of, &d.vc, work);
             }
-            Payload::CommitReq { txn, prio, n_writes, .. } => {
+            Payload::CommitReq {
+                txn,
+                prio,
+                n_writes,
+                ..
+            } => {
                 if st.decided.contains_key(&txn) {
                     return;
                 }
@@ -523,7 +537,11 @@ impl CausalProto {
             .map(|(&txn, _)| txn)
             .collect();
         for txn in candidates {
-            self.info.get_mut(&txn).expect("candidate").acked.insert(sender);
+            self.info
+                .get_mut(&txn)
+                .expect("candidate")
+                .acked
+                .insert(sender);
             self.try_decide(st, now, txn, work);
         }
     }
@@ -563,7 +581,11 @@ impl CausalProto {
             .collect();
         let mut doomed_self = false;
         for (peer, peer_prio) in peers {
-            let loser = if prio.older_than(&peer_prio) { peer } else { txn };
+            let loser = if prio.older_than(&peer_prio) {
+                peer
+            } else {
+                txn
+            };
             if loser == txn {
                 doomed_self = true;
             }
@@ -605,8 +627,7 @@ impl CausalProto {
                 };
                 if local.spec.is_read_only() {
                     nack_writer = true;
-                } else if matches!(local.phase, crate::state::LocalPhase::AcquiringReads { .. })
-                {
+                } else if matches!(local.phase, crate::state::LocalPhase::AcquiringReads { .. }) {
                     wound.push(holder);
                 } else {
                     // Write phase: its held read locks validate its reads.
@@ -644,6 +665,7 @@ impl CausalProto {
         if !already_nacked {
             self.info.entry(txn).or_default().nacked.insert(st.me);
             let site = st.me;
+            st.trace_vote(txn, false, now);
             self.bcast(fx, Payload::Nack { txn, site }, work);
         }
         let mut events = Vec::new();
@@ -654,7 +676,13 @@ impl CausalProto {
     /// Commits `txn` if (a) acks cover the view, (b) nobody NACKed, and
     /// (c) the deterministic concurrency evaluation finds no older
     /// concurrent conflicting peer. Aborts on NACK.
-    fn try_decide(&mut self, st: &mut SiteState, now: SimTime, txn: TxnId, work: &mut VecDeque<Work>) {
+    fn try_decide(
+        &mut self,
+        st: &mut SiteState,
+        now: SimTime,
+        txn: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
         if st.decided.contains_key(&txn) {
             return;
         }
@@ -754,8 +782,7 @@ mod tests {
 
         fn submit(&mut self, site: usize, ts: u64, spec: TxnSpec) -> TxnId {
             let mut fx = Effects::new();
-            let (id, events) =
-                self.states[site].begin_txn(SimTime::from_micros(ts), spec);
+            let (id, events) = self.states[site].begin_txn(SimTime::from_micros(ts), spec);
             self.protos[site].handle_events(&mut self.states[site], &mut fx, SimTime::ZERO, events);
             self.absorb(SiteId(site), fx);
             id
@@ -794,10 +821,7 @@ mod tests {
                     }
                     self.absorb(to, fx);
                 }
-                let anything_undecided = self
-                    .states
-                    .iter()
-                    .any(|st| st.has_undecided());
+                let anything_undecided = self.states.iter().any(|st| st.has_undecided());
                 if !anything_undecided {
                     break;
                 }
@@ -879,7 +903,11 @@ mod tests {
         }
         rig.settle();
         for (i, st) in rig.states.iter().enumerate() {
-            assert_eq!(st.decided.get(&id), Some(&false), "site {i} aborted on NACK");
+            assert_eq!(
+                st.decided.get(&id),
+                Some(&false),
+                "site {i} aborted on NACK"
+            );
         }
     }
 }

@@ -120,7 +120,13 @@ impl P2pProto {
         self.pump(st, fx, now, work);
     }
 
-    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+    fn pump(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        mut work: VecDeque<Work>,
+    ) {
         while let Some(item) = work.pop_front() {
             match item {
                 Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
@@ -329,6 +335,7 @@ impl P2pProto {
                 // Writes arrived (and were acked) before the commit request
                 // on FIFO links, so the site is prepared: vote YES to all.
                 entry.my_vote = Some(true);
+                st.trace_vote(txn, true, now);
                 let me = st.me;
                 for site in 0..st.n {
                     let site = SiteId(site);

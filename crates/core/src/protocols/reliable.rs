@@ -169,7 +169,13 @@ impl ReliableProto {
     }
 
     /// Drains the work queue to a fixed point.
-    fn pump(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, mut work: VecDeque<Work>) {
+    fn pump(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        mut work: VecDeque<Work>,
+    ) {
         while let Some(item) = work.pop_front() {
             match item {
                 Work::Event(ev) => self.on_event(st, fx, now, ev, &mut work),
@@ -182,13 +188,13 @@ impl ReliableProto {
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
-        _now: SimTime,
+        now: SimTime,
         ev: LocalEvent,
         work: &mut VecDeque<Work>,
     ) {
         match ev {
             LocalEvent::ReadsComplete(id) => self.start_write_phase(st, fx, id, work),
-            LocalEvent::RemotePrepared(id) => self.maybe_vote(st, fx, id, work),
+            LocalEvent::RemotePrepared(id) => self.maybe_vote(st, fx, now, id, work),
             LocalEvent::RemoteDoomed(id, _reason) => {
                 if id.origin == st.me {
                     // Our own transaction was condemned here: abort it
@@ -196,7 +202,7 @@ impl ReliableProto {
                     // round.
                     self.bcast(fx, Payload::AbortDecision { txn: id }, work);
                 } else {
-                    self.maybe_vote(st, fx, id, work);
+                    self.maybe_vote(st, fx, now, id, work);
                 }
             }
             LocalEvent::RemoteKeyGranted(..) => {}
@@ -214,7 +220,7 @@ impl ReliableProto {
         id: TxnId,
         work: &mut VecDeque<Work>,
     ) {
-        if st.local.get(&id).is_none() {
+        if !st.local.contains_key(&id) {
             return; // wounded in the meantime
         };
         if st.think.is_zero() {
@@ -229,8 +235,14 @@ impl ReliableProto {
     }
 
     /// Resumes a paced write phase (next step after think time).
-    pub fn continue_write(&mut self, st: &mut SiteState, fx: &mut Effects, now: SimTime, id: TxnId) {
-        if st.decided.contains_key(&id) || st.local.get(&id).is_none() {
+    pub fn continue_write(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        id: TxnId,
+    ) {
+        if st.decided.contains_key(&id) || !st.local.contains_key(&id) {
             self.writing.remove(&id);
             return;
         }
@@ -262,13 +274,13 @@ impl ReliableProto {
         let n_writes = writes.len();
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
-        for index in start..end {
+        for (index, op) in writes.iter().enumerate().take(end).skip(start) {
             self.bcast(
                 fx,
                 Payload::Write {
                     txn: id,
                     prio,
-                    op: writes[index].clone(),
+                    op: op.clone(),
                     index,
                     of: n_writes,
                 },
@@ -302,12 +314,19 @@ impl ReliableProto {
         work: &mut VecDeque<Work>,
     ) {
         match payload {
-            Payload::Write { txn, prio, op, of, .. } => {
+            Payload::Write {
+                txn, prio, op, of, ..
+            } => {
                 let mut events = Vec::new();
                 st.deliver_write_op(txn, prio, op, of, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             }
-            Payload::CommitReq { txn, prio, n_writes, .. } => {
+            Payload::CommitReq {
+                txn,
+                prio,
+                n_writes,
+                ..
+            } => {
                 if st.decided.contains_key(&txn) {
                     return;
                 }
@@ -324,7 +343,7 @@ impl ReliableProto {
                 // readers that already broadcast are governed by the
                 // priority rules, which votes make globally visible.
                 self.gate_local_readers(st, now, txn, work);
-                self.maybe_vote(st, fx, txn, work);
+                self.maybe_vote(st, fx, now, txn, work);
             }
             Payload::Vote { txn, site, yes } => {
                 if st.decided.contains_key(&txn) {
@@ -390,10 +409,7 @@ impl ReliableProto {
                 };
                 if local.spec.is_read_only() {
                     veto_writer = true;
-                } else if matches!(
-                    local.phase,
-                    crate::state::LocalPhase::AcquiringReads { .. }
-                ) {
+                } else if matches!(local.phase, crate::state::LocalPhase::AcquiringReads { .. }) {
                     wound.push(holder);
                 }
                 // Write phase: priority rules + votes handle it.
@@ -417,6 +433,7 @@ impl ReliableProto {
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
+        now: SimTime,
         txn: TxnId,
         work: &mut VecDeque<Work>,
     ) {
@@ -438,6 +455,7 @@ impl ReliableProto {
         };
         let Some(yes) = vote else { return };
         entry.my_vote = Some(yes);
+        st.trace_vote(txn, yes, now);
         if yes {
             // Older transactions queued behind this now-prepared holder
             // must not wait for an irrevocable vote: doom them here (we
@@ -452,7 +470,13 @@ impl ReliableProto {
 
     /// Decides `txn` once the view's votes are in (decentralized 2PC: each
     /// site decides independently from the same votes).
-    fn try_decide(&mut self, st: &mut SiteState, now: SimTime, txn: TxnId, work: &mut VecDeque<Work>) {
+    fn try_decide(
+        &mut self,
+        st: &mut SiteState,
+        now: SimTime,
+        txn: TxnId,
+        work: &mut VecDeque<Work>,
+    ) {
         if st.decided.contains_key(&txn) {
             return;
         }
@@ -561,16 +585,21 @@ mod tests {
         let mut events = Vec::new();
         rig.states[1].deliver_write_op(
             blocker,
-            crate::payload::TxnPriority { ts: 0, origin: SiteId(0), num: 99 },
-            bcastdb_db::WriteOp { key: "y".into(), value: 1 },
+            crate::payload::TxnPriority {
+                ts: 0,
+                origin: SiteId(0),
+                num: 99,
+            },
+            bcastdb_db::WriteOp {
+                key: "y".into(),
+                value: 1,
+            },
             2, // claims two writes so it never prepares/terminates
             SimTime::ZERO,
             &mut events,
         );
-        let (ro, ev) = rig.states[1].begin_txn(
-            SimTime::from_micros(5),
-            TxnSpec::new().read("x").read("y"),
-        );
+        let (ro, ev) =
+            rig.states[1].begin_txn(SimTime::from_micros(5), TxnSpec::new().read("x").read("y"));
         assert!(ev.is_empty(), "reader parked on y");
         // Site 0 submits a writer of "x": its commit request reaches site 1
         // while the read-only reader holds S(x) → site 1 vetoes (votes NO).
@@ -594,14 +623,22 @@ mod tests {
             let st = &mut rig.states[2];
             let e = st.remote_entry(
                 id,
-                crate::payload::TxnPriority { ts: 0, origin: SiteId(0), num: 1 },
+                crate::payload::TxnPriority {
+                    ts: 0,
+                    origin: SiteId(0),
+                    num: 1,
+                },
             );
             e.doomed = Some(AbortReason::Wounded);
         }
         rig.settle();
         for (i, st) in rig.states.iter().enumerate() {
             assert_eq!(st.decided.get(&id), Some(&false), "site {i} aborted");
-            assert_eq!(st.store.read(&"x".into()).writer, None, "site {i}: no install");
+            assert_eq!(
+                st.store.read(&"x".into()).writer,
+                None,
+                "site {i}: no install"
+            );
         }
     }
 
@@ -610,10 +647,7 @@ mod tests {
         // The commit request never outruns the writes: by the time any site
         // votes, its write set is complete.
         let mut rig = Rig::new(4);
-        let id = rig.submit(
-            1,
-            TxnSpec::new().write("a", 1).write("b", 2).write("c", 3),
-        );
+        let id = rig.submit(1, TxnSpec::new().write("a", 1).write("b", 2).write("c", 3));
         rig.settle();
         for st in &rig.states {
             let e = &st.remote[&id];

@@ -15,8 +15,18 @@ use crate::placement::Placement;
 use bcastdb_db::lock::{GrantedFromQueue, LockMode, RequestOutcome};
 use bcastdb_db::sg::ObservedVersion;
 use bcastdb_db::{Key, LockManager, RedoLog, Store, TxnId, TxnSpec, WriteOp};
+use bcastdb_sim::telemetry::{TraceEvent, Tracer, TxnRef};
 use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The trace-level reference for a transaction id (`bcastdb-sim` cannot
+/// depend on the database crate, so its events carry this mirror type).
+pub fn txn_ref(id: TxnId) -> TxnRef {
+    TxnRef {
+        origin: id.origin,
+        num: id.num,
+    }
+}
 
 /// How write-lock conflicts between update transactions are resolved
 /// (ablation A2). Both are deadlock-free priority schemes.
@@ -163,6 +173,8 @@ pub struct SiteState {
     pub log: RedoLog,
     /// Metrics for this site.
     pub metrics: Metrics,
+    /// Structured trace sink (disabled by default; zero overhead when off).
+    pub tracer: Tracer,
     /// Conflict policy between update transactions.
     pub policy: ConflictPolicy,
     /// Whether delivered writes may wound *broadcast* (remote or
@@ -218,6 +230,7 @@ impl SiteState {
             locks: LockManager::new(),
             log: RedoLog::new(),
             metrics: Metrics::new(),
+            tracer: Tracer::disabled(),
             policy,
             wound_remote: true,
             wound_local_readers: true,
@@ -234,13 +247,22 @@ impl SiteState {
         }
     }
 
+    /// Records this site's verdict on a broadcast transaction in the trace:
+    /// an explicit 2PC vote, a causal-protocol NACK (`yes == false`), or a
+    /// deterministic certification outcome (atomic protocol).
+    pub fn trace_vote(&self, id: TxnId, yes: bool, now: SimTime) {
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Vote {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+            yes,
+        });
+    }
+
     /// True iff this site knows of any transaction that has not terminated.
     pub fn has_undecided(&self) -> bool {
-        !self.local.is_empty()
-            || self
-                .remote
-                .keys()
-                .any(|t| !self.decided.contains_key(t))
+        !self.local.is_empty() || self.remote.keys().any(|t| !self.decided.contains_key(t))
     }
 
     // ------------------------------------------------------------------
@@ -258,6 +280,12 @@ impl SiteState {
             origin: self.me,
             num: self.next_txn_num,
         };
+        let read_only = spec.is_read_only();
+        self.tracer.emit(|| TraceEvent::Submit {
+            at: now,
+            txn: txn_ref(id),
+            read_only,
+        });
         self.local.insert(
             id,
             LocalTxn {
@@ -295,6 +323,10 @@ impl SiteState {
                     .collect();
                 let txn = self.local.get_mut(&id).expect("present");
                 txn.reads_observed = observed;
+                self.tracer.emit(|| TraceEvent::LocksAcquired {
+                    at: now,
+                    txn: txn_ref(id),
+                });
                 if txn.spec.is_read_only() {
                     self.commit_read_only(id, now, events);
                 } else {
@@ -343,6 +375,12 @@ impl SiteState {
         let txn = self.local.remove(&id).expect("present");
         let latency = now.saturating_since(txn.submitted);
         self.metrics.commit_readonly(latency);
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Commit {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+        });
         self.decided.insert(id, true);
         self.terminations.push(TerminationRecord {
             txn: id,
@@ -367,6 +405,13 @@ impl SiteState {
             return; // already gone
         };
         self.metrics.abort(reason);
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Abort {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+            reason: reason.counter().to_string(),
+        });
         if gone.spec.is_read_only() {
             // Only the atomic protocol ever does this (the price of
             // acknowledgement-free commitment); tracked separately so the
@@ -497,16 +542,13 @@ impl SiteState {
                                 // comes back; materialize its remote entry so
                                 // dooming it has somewhere to land.
                                 if !self.remote.contains_key(&holder) {
-                                    let Some(lp) =
-                                        self.local.get(&holder).map(|l| l.prio)
-                                    else {
+                                    let Some(lp) = self.local.get(&holder).map(|l| l.prio) else {
                                         continue; // unknown holder: just wait
                                     };
                                     self.remote_entry(holder, lp);
                                 }
                                 let hp = self.remote[&holder].prio;
-                                let holder_voted =
-                                    self.remote[&holder].my_vote == Some(true);
+                                let holder_voted = self.remote[&holder].my_vote == Some(true);
                                 if holder_voted {
                                     // A locally-prepared holder (YES vote
                                     // cast) can no longer be wounded — the
@@ -614,7 +656,12 @@ impl SiteState {
         // protecting its own reads at its origin: an older writer queued
         // behind one of those is just as stuck as one behind an exclusive
         // lock.
-        let keys: Vec<Key> = self.locks.locks_of(id).into_iter().map(|(k, _)| k).collect();
+        let keys: Vec<Key> = self
+            .locks
+            .locks_of(id)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         for k in keys {
             for (w, mode) in self.locks.queued(&k) {
                 if mode != LockMode::Exclusive || w == id {
@@ -706,6 +753,12 @@ impl SiteState {
         self.store.apply(id, &held);
         self.log.log_commit(id, held);
         self.decided.insert(id, true);
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Commit {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+        });
 
         // Origin side: latency + read observations for the checker.
         if let Some(local) = self.local.remove(&id) {
@@ -736,6 +789,13 @@ impl SiteState {
         }
         self.decided.insert(id, false);
         self.log.log_abort(id);
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Abort {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+            reason: reason.counter().to_string(),
+        });
         if self.local.remove(&id).is_some() {
             // Origin records the abort (one metrics entry per transaction,
             // at its origin only).
@@ -827,8 +887,7 @@ mod tests {
     #[test]
     fn update_txn_signals_reads_complete() {
         let mut st = state();
-        let (id, events) =
-            st.begin_txn(SimTime::ZERO, TxnSpec::new().read("x").write("y", 1));
+        let (id, events) = st.begin_txn(SimTime::ZERO, TxnSpec::new().read("x").write("y", 1));
         assert_eq!(events, vec![LocalEvent::ReadsComplete(id)]);
         assert_eq!(st.local[&id].phase, LocalPhase::WritePhase);
         assert_eq!(st.local[&id].reads_observed.len(), 1);
@@ -871,7 +930,14 @@ mod tests {
         let t_w = TxnId::new(SiteId(1), 1);
         let mut events = Vec::new();
         // Pre-hold x with an exclusive remote lock so the reader queues.
-        st.deliver_write_op(t_w, prio(1, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            t_w,
+            prio(1, 1, 1),
+            wop("x", 1),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         // Reader arrives, queues on x.
         let (ro, ev) = st.begin_txn(SimTime::from_micros(2), TxnSpec::new().read("x"));
         assert!(ev.is_empty());
@@ -890,7 +956,14 @@ mod tests {
         // its read phase: it gets S on "x", then queues on "y".
         let blocker = TxnId::new(SiteId(2), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(blocker, prio(0, 2, 1), wop("y", 0), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            blocker,
+            prio(0, 2, 1),
+            wop("y", 0),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         let (reader, ev) = st.begin_txn(
             SimTime::from_micros(100),
             TxnSpec::new().read("x").read("y").write("z", 1),
@@ -899,8 +972,18 @@ mod tests {
         // An older remote write on x arrives and wounds the reader.
         let t_w = TxnId::new(SiteId(1), 1);
         events.clear();
-        st.deliver_write_op(t_w, prio(1, 1, 1), wop("x", 9), 1, SimTime::from_micros(101), &mut events);
-        assert!(events.contains(&LocalEvent::RemotePrepared(t_w)), "wound freed the lock");
+        st.deliver_write_op(
+            t_w,
+            prio(1, 1, 1),
+            wop("x", 9),
+            1,
+            SimTime::from_micros(101),
+            &mut events,
+        );
+        assert!(
+            events.contains(&LocalEvent::RemotePrepared(t_w)),
+            "wound freed the lock"
+        );
         assert_eq!(st.decided.get(&reader), Some(&false), "reader wounded");
         assert_eq!(st.metrics.counters.get("abort_wounded"), 1);
     }
@@ -914,7 +997,14 @@ mod tests {
         );
         let t_w = TxnId::new(SiteId(1), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(t_w, prio(500, 1, 1), wop("x", 9), 1, SimTime::from_micros(501), &mut events);
+        st.deliver_write_op(
+            t_w,
+            prio(500, 1, 1),
+            wop("x", 9),
+            1,
+            SimTime::from_micros(501),
+            &mut events,
+        );
         assert!(events.is_empty(), "younger writer queues");
         assert!(!st.decided.contains_key(&reader));
         assert!(st.remote[&t_w].keys_waiting.contains(&Key::new("x")));
@@ -926,9 +1016,23 @@ mod tests {
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            young,
+            prio(100, 1, 1),
+            wop("x", 1),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         events.clear();
-        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            old,
+            prio(1, 2, 1),
+            wop("x", 2),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         assert!(events.contains(&LocalEvent::RemoteDoomed(young, AbortReason::Wounded)));
         // Old queues behind the doomed holder until its abort is applied.
         assert!(st.remote[&old].keys_waiting.contains(&Key::new("x")));
@@ -943,10 +1047,24 @@ mod tests {
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            young,
+            prio(100, 1, 1),
+            wop("x", 1),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         st.remote.get_mut(&young).unwrap().my_vote = Some(true);
         events.clear();
-        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            old,
+            prio(1, 2, 1),
+            wop("x", 2),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         assert!(
             !events
                 .iter()
@@ -964,9 +1082,23 @@ mod tests {
         let old = TxnId::new(SiteId(1), 1);
         let young = TxnId::new(SiteId(2), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(old, prio(1, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            old,
+            prio(1, 1, 1),
+            wop("x", 1),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         events.clear();
-        st.deliver_write_op(young, prio(100, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            young,
+            prio(100, 2, 1),
+            wop("x", 2),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         assert!(events.contains(&LocalEvent::RemoteDoomed(young, AbortReason::WaitDie)));
     }
 
@@ -976,9 +1108,23 @@ mod tests {
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
         let mut events = Vec::new();
-        st.deliver_write_op(young, prio(100, 1, 1), wop("x", 1), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            young,
+            prio(100, 1, 1),
+            wop("x", 1),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         events.clear();
-        st.deliver_write_op(old, prio(1, 2, 1), wop("x", 2), 1, SimTime::ZERO, &mut events);
+        st.deliver_write_op(
+            old,
+            prio(1, 2, 1),
+            wop("x", 2),
+            1,
+            SimTime::ZERO,
+            &mut events,
+        );
         assert!(events.is_empty(), "older requester waits under wait-die");
         assert!(st.remote[&old].keys_waiting.contains(&Key::new("x")));
     }
@@ -1030,7 +1176,10 @@ mod tests {
         events.clear();
         st.deliver_write_op(t, prio(1, 1, 1), wop("y", 1), 1, SimTime::ZERO, &mut events);
         assert!(events.is_empty());
-        assert!(st.locks.locks_of(t).is_empty(), "no lock acquired post-abort");
+        assert!(
+            st.locks.locks_of(t).is_empty(),
+            "no lock acquired post-abort"
+        );
     }
 
     #[test]

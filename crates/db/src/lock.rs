@@ -76,7 +76,10 @@ struct Entry {
 
 impl Entry {
     fn held_by(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|&(_, m)| m)
     }
 
     /// Holders that are incompatible with `txn` acquiring `mode`.
@@ -116,9 +119,7 @@ impl LockManager {
         let entry = self.table.entry(key.clone()).or_default();
         match entry.held_by(txn) {
             Some(LockMode::Exclusive) => return RequestOutcome::Granted,
-            Some(LockMode::Shared) if mode == LockMode::Shared => {
-                return RequestOutcome::Granted
-            }
+            Some(LockMode::Shared) if mode == LockMode::Shared => return RequestOutcome::Granted,
             Some(LockMode::Shared) => {
                 // Upgrade: allowed iff sole holder.
                 let blockers = entry.blockers(txn, mode);
@@ -216,10 +217,7 @@ impl LockManager {
     /// batch of shared requests is granted together, an exclusive request
     /// only alone).
     fn drain_queue(key: &Key, entry: &mut Entry, granted: &mut Vec<GrantedFromQueue>) {
-        loop {
-            let Some(&Waiter { txn, mode, .. }) = entry.queue.first() else {
-                break;
-            };
+        while let Some(&Waiter { txn, mode, .. }) = entry.queue.first() {
             // Upgrade-in-queue: the txn may already hold Shared.
             let others_block = entry
                 .holders
@@ -312,8 +310,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), &k("x"), LockMode::Shared), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), &k("x"), LockMode::Shared), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), &k("x"), LockMode::Shared),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), &k("x"), LockMode::Shared),
+            RequestOutcome::Granted
+        );
         assert!(lm.holds(t(1), &k("x"), LockMode::Shared));
         assert!(lm.holds(t(2), &k("x"), LockMode::Shared));
     }
@@ -343,16 +347,25 @@ mod tests {
     fn reentrant_requests_are_granted() {
         let mut lm = LockManager::new();
         lm.request(t(1), &k("x"), LockMode::Exclusive);
-        assert_eq!(lm.request(t(1), &k("x"), LockMode::Exclusive), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(1), &k("x"), LockMode::Shared), RequestOutcome::Granted,
-            "exclusive covers shared");
+        assert_eq!(
+            lm.request(t(1), &k("x"), LockMode::Exclusive),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(1), &k("x"), LockMode::Shared),
+            RequestOutcome::Granted,
+            "exclusive covers shared"
+        );
     }
 
     #[test]
     fn sole_holder_upgrades_shared_to_exclusive() {
         let mut lm = LockManager::new();
         lm.request(t(1), &k("x"), LockMode::Shared);
-        assert_eq!(lm.request(t(1), &k("x"), LockMode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), &k("x"), LockMode::Exclusive),
+            RequestOutcome::Granted
+        );
         assert!(lm.holds(t(1), &k("x"), LockMode::Exclusive));
     }
 
@@ -506,8 +519,14 @@ mod tests {
     fn strict_2pl_scenario_end_to_end() {
         // T1 reads a, writes b; T2 reads b, must wait for T1's X on b.
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), &k("a"), LockMode::Shared), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(1), &k("b"), LockMode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), &k("a"), LockMode::Shared),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(1), &k("b"), LockMode::Exclusive),
+            RequestOutcome::Granted
+        );
         assert!(matches!(
             lm.request(t(2), &k("b"), LockMode::Shared),
             RequestOutcome::Conflict { .. }
@@ -530,7 +549,7 @@ mod prop_tests {
 
     #[derive(Debug, Clone)]
     enum Op {
-        Request(u64, u8, bool),  // txn, key, exclusive?
+        Request(u64, u8, bool),      // txn, key, exclusive?
         Enqueue(u64, u8, bool, u64), // txn, key, exclusive?, rank
         Release(u64),
     }
@@ -553,7 +572,11 @@ mod prop_tests {
     }
 
     fn mode(x: bool) -> LockMode {
-        if x { LockMode::Exclusive } else { LockMode::Shared }
+        if x {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
     }
 
     /// Invariant: the holders of any key are mutually compatible — either

@@ -212,7 +212,10 @@ mod tests {
         log.truncate_before(cp.covered);
         assert_eq!(log.len(), 2, "only the suffix remains");
         let recovered = log.recover_from(&cp);
-        assert!(recovered.converged_with(&full), "checkpoint + suffix = full state");
+        assert!(
+            recovered.converged_with(&full),
+            "checkpoint + suffix = full state"
+        );
         assert_eq!(recovered.value(&Key::new("x")), 3);
     }
 

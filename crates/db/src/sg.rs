@@ -70,16 +70,27 @@ pub enum SgViolation {
 impl fmt::Display for SgViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SgViolation::DivergentInstallOrder { key, site_a, site_b } => write!(
+            SgViolation::DivergentInstallOrder {
+                key,
+                site_a,
+                site_b,
+            } => write!(
                 f,
                 "replicas diverge on {key}: {} installed {:?}, {} installed {:?}",
                 site_a.0, site_a.1, site_b.0, site_b.1
             ),
-            SgViolation::ReadFromUncommitted { reader, key, writer } => {
+            SgViolation::ReadFromUncommitted {
+                reader,
+                key,
+                writer,
+            } => {
                 write!(f, "{reader} read {key} from uncommitted {writer}")
             }
             SgViolation::CommittedWriteNotInstalled { writer, key } => {
-                write!(f, "{writer} committed a write of {key} that no replica installed")
+                write!(
+                    f,
+                    "{writer} committed a write of {key} that no replica installed"
+                )
             }
             SgViolation::Cycle(c) => {
                 write!(f, "serialization graph cycle:")?;
@@ -148,9 +159,9 @@ impl HistoryRecorder {
         self.check()?;
         let canonical = self.check_replica_agreement()?;
         let graph = self.build_graph(&canonical)?;
-        graph.topo_order().ok_or_else(|| {
-            SgViolation::Cycle(graph.find_cycle().unwrap_or_default())
-        })
+        graph
+            .topo_order()
+            .ok_or_else(|| SgViolation::Cycle(graph.find_cycle().unwrap_or_default()))
     }
 
     /// Renders the one-copy serialization graph in Graphviz `dot` format
@@ -243,10 +254,7 @@ impl HistoryRecorder {
                 }
             }
         }
-        Ok(canonical
-            .into_iter()
-            .map(|(k, (_, o))| (k, o))
-            .collect())
+        Ok(canonical.into_iter().map(|(k, (_, o))| (k, o)).collect())
     }
 
     /// Step 2: build the one-copy serialization graph.

@@ -81,7 +81,10 @@ impl Store {
 
     /// The per-key sequence of committed writers at this site.
     pub fn install_order(&self, key: &Key) -> &[TxnId] {
-        self.install_order.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.install_order
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterates over `(key, version)` pairs of every object ever written

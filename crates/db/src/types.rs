@@ -62,7 +62,9 @@ pub type Value = i64;
 
 /// Globally unique transaction identifier: the site where the transaction
 /// originated plus a per-site counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TxnId {
     /// Site that initiated the transaction.
     pub origin: SiteId,
@@ -183,7 +185,11 @@ mod tests {
 
     #[test]
     fn spec_builder_preserves_order() {
-        let t = TxnSpec::new().read("a").read("b").write("c", 1).write("a", 2);
+        let t = TxnSpec::new()
+            .read("a")
+            .read("b")
+            .write("c", 1)
+            .write("a", 2);
         assert_eq!(t.reads().len(), 2);
         assert_eq!(t.writes().len(), 2);
         assert_eq!(t.reads()[0], Key::new("a"));

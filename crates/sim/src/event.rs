@@ -195,6 +195,9 @@ mod tests {
             q.pop().unwrap().kind,
             EventKind::Deliver { msg: 42, .. }
         ));
-        assert!(matches!(q.pop().unwrap().kind, EventKind::Timer { tag: 7, .. }));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Timer { tag: 7, .. }
+        ));
     }
 }

@@ -15,7 +15,9 @@
 //!   loss, partitions, and crash failures,
 //! - [`Simulation`] — the driver that owns a set of [`Node`]s and runs the
 //!   event loop to quiescence or a deadline,
-//! - [`trace`] — counters and histograms used by the experiment harness.
+//! - [`trace`] — counters and histograms used by the experiment harness,
+//! - [`telemetry`] — structured trace events with per-phase message
+//!   accounting, pluggable sinks, and an offline invariant checker.
 //!
 //! # Example
 //!
@@ -51,13 +53,14 @@ mod event;
 mod net;
 mod rng;
 mod simulation;
+pub mod telemetry;
 mod time;
 pub mod trace;
 
 pub use event::{Event, EventKind, EventQueue};
 pub use net::{LatencyModel, LinkState, Network, NetworkConfig};
 pub use rng::DetRng;
-pub use simulation::{Ctx, Node, RunOutcome, Simulation};
+pub use simulation::{Ctx, Node, RunOutcome, SendOutcome, Simulation};
 pub use time::{SimDuration, SimTime};
 
 use std::fmt;
@@ -66,7 +69,19 @@ use std::fmt;
 ///
 /// Sites are numbered densely from zero; `SiteId(i)` is the `i`-th node
 /// handed to [`Simulation::new`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SiteId(pub usize);
 
 impl fmt::Display for SiteId {

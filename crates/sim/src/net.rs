@@ -192,8 +192,7 @@ impl Network {
         size_hint: usize,
         rng: &mut DetRng,
     ) -> Transit {
-        if self.crashed.contains(&from) || self.crashed.contains(&to) || self.is_severed(from, to)
-        {
+        if self.crashed.contains(&from) || self.crashed.contains(&to) || self.is_severed(from, to) {
             self.messages_dropped += 1;
             return Transit::Dropped;
         }
@@ -208,19 +207,14 @@ impl Network {
         // transmission time, pushing later traffic back (modelled through
         // the FIFO horizon below).
         let transmission = match self.config.bandwidth_bytes_per_sec {
-            Some(bw) => {
-                SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / bw)
-            }
+            Some(bw) => SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / bw),
             None => SimDuration::ZERO,
         };
         let mut arrive = now + latency + transmission;
         // FIFO per link: never deliver before (or at the same instant as) a
         // previously scheduled message on the same link; with finite
         // bandwidth, back-to-back messages serialize.
-        let horizon = self
-            .fifo_horizon
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let horizon = self.fifo_horizon.entry((from, to)).or_insert(SimTime::ZERO);
         if arrive <= *horizon + transmission {
             arrive = *horizon + transmission + SimDuration::from_micros(1);
         }
@@ -424,8 +418,8 @@ mod tests {
     #[test]
     fn finite_bandwidth_adds_transmission_delay() {
         // 1_000 bytes at 1 MB/s = 1ms transmission on top of 1ms latency.
-        let cfg = NetworkConfig::deterministic(SimDuration::from_millis(1))
-            .with_bandwidth(1_000_000);
+        let cfg =
+            NetworkConfig::deterministic(SimDuration::from_millis(1)).with_bandwidth(1_000_000);
         let mut net = Network::new(cfg);
         let mut r = rng();
         match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {
@@ -436,8 +430,8 @@ mod tests {
 
     #[test]
     fn bandwidth_serializes_back_to_back_messages() {
-        let cfg = NetworkConfig::deterministic(SimDuration::from_millis(1))
-            .with_bandwidth(1_000_000);
+        let cfg =
+            NetworkConfig::deterministic(SimDuration::from_millis(1)).with_bandwidth(1_000_000);
         let mut net = Network::new(cfg);
         let mut r = rng();
         let t1 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {

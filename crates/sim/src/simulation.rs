@@ -17,7 +17,12 @@ pub trait Node {
     type Timer: Clone;
 
     /// Called when a message from `from` is delivered to this node.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: SiteId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        from: SiteId,
+        msg: Self::Msg,
+    );
 
     /// Called when a timer previously set with [`Ctx::set_timer`] fires
     /// (or one scheduled externally via [`Simulation::schedule_timer`]).
@@ -68,22 +73,27 @@ impl<'a, M: Clone, T: Clone> Ctx<'a, M, T> {
     /// Sends `msg` to `to` over the simulated network (may be lost or
     /// delayed according to the network configuration). Sending to self is
     /// allowed and goes through the network like any other message.
-    pub fn send(&mut self, to: SiteId, msg: M) {
-        self.send_sized(to, msg, self.default_msg_size);
+    /// Returns whether the network accepted the message, so callers can
+    /// trace losses; most ignore the result.
+    pub fn send(&mut self, to: SiteId, msg: M) -> SendOutcome {
+        self.send_sized(to, msg, self.default_msg_size)
     }
 
     /// Like [`Ctx::send`] but records `size` bytes against traffic counters.
-    pub fn send_sized(&mut self, to: SiteId, msg: M, size: usize) {
+    pub fn send_sized(&mut self, to: SiteId, msg: M, size: usize) -> SendOutcome {
         match self.net.transit(self.now, self.me, to, size, self.rng) {
-            Transit::DeliverAt(t) => self.queue.schedule(
-                t,
-                EventKind::Deliver {
-                    from: self.me,
-                    to,
-                    msg,
-                },
-            ),
-            Transit::Dropped => {}
+            Transit::DeliverAt(t) => {
+                self.queue.schedule(
+                    t,
+                    EventKind::Deliver {
+                        from: self.me,
+                        to,
+                        msg,
+                    },
+                );
+                SendOutcome::Accepted
+            }
+            Transit::Dropped => SendOutcome::Dropped,
         }
     }
 
@@ -110,6 +120,15 @@ impl<'a, M: Clone, T: Clone> Ctx<'a, M, T> {
         self.queue
             .schedule(self.now + delay, EventKind::Timer { at: self.me, tag });
     }
+}
+
+/// What the network did with a message handed to [`Ctx::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was accepted and will be delivered.
+    Accepted,
+    /// The message was lost (random loss, crash, or partition).
+    Dropped,
 }
 
 /// Why a run loop returned.
@@ -203,8 +222,7 @@ impl<N: Node> Simulation<N> {
             .transit(self.now, from, to, self.default_msg_size, &mut self.rng)
         {
             Transit::DeliverAt(t) => {
-                self.queue
-                    .schedule(t, EventKind::Deliver { from, to, msg });
+                self.queue.schedule(t, EventKind::Deliver { from, to, msg });
             }
             Transit::Dropped => {}
         }
@@ -343,7 +361,11 @@ mod tests {
                 replies_left: 100,
             })
             .collect();
-        Simulation::new(7, NetworkConfig::deterministic(SimDuration::from_millis(1)), nodes)
+        Simulation::new(
+            7,
+            NetworkConfig::deterministic(SimDuration::from_millis(1)),
+            nodes,
+        )
     }
 
     #[test]

@@ -1,0 +1,1471 @@
+//! Structured trace events: typed, per-phase message accounting and
+//! transaction lifecycle spans, with pluggable sinks and an offline
+//! invariant checker.
+//!
+//! The experiment harness needs more than flat counters to decompose a
+//! protocol's traffic the way the paper does (write dissemination vs.
+//! votes vs. acknowledgements vs. decisions). This module defines:
+//!
+//! - [`Phase`] — the six protocol phases every replica message belongs to,
+//! - [`TraceEvent`] — one structured record per message send / delivery /
+//!   drop and per transaction lifecycle step (submit → locks → vote →
+//!   commit/abort), plus total-order deliveries, view changes, and crashes,
+//! - [`TraceSink`] — where events go: a bounded [`RingSink`], a JSON-Lines
+//!   [`JsonlSink`], or the streaming [`TraceInvariants`] checker,
+//! - [`Tracer`] — a cheap, cloneable handle that is **zero-overhead when
+//!   disabled**: [`Tracer::emit`] takes a closure that is never evaluated
+//!   unless a sink is attached,
+//! - [`PhaseCounts`] — a per-phase message tally for benchmark tables.
+//!
+//! # Example
+//!
+//! ```
+//! use bcastdb_sim::telemetry::{Phase, RingSink, TraceEvent, Tracer};
+//! use bcastdb_sim::{SimTime, SiteId};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let ring = Rc::new(RefCell::new(RingSink::new(16)));
+//! let tracer = Tracer::new(ring.clone());
+//! tracer.emit(|| TraceEvent::Send {
+//!     at: SimTime::from_micros(5),
+//!     from: SiteId(0),
+//!     to: SiteId(1),
+//!     phase: Phase::Prepare,
+//! });
+//! assert_eq!(ring.borrow().len(), 1);
+//!
+//! // A disabled tracer never evaluates the closure:
+//! Tracer::disabled().emit(|| unreachable!());
+//! ```
+
+use crate::{SimTime, SiteId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------
+
+/// The protocol phase a replica message belongs to.
+///
+/// Every message any of the four protocols sends falls into exactly one
+/// of these buckets, so per-phase totals sum to the flat message count by
+/// construction. The mapping (documented per message type in
+/// `bcastdb-core`) follows the paper's cost decomposition: disseminating
+/// a transaction's effects is *prepare*, deciding its fate is *vote* /
+/// *decision*, everything acknowledgement-like is *ack*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Write dissemination and commit requests (including the payload legs
+    /// of the atomic broadcast).
+    Prepare,
+    /// Explicit 2PC votes.
+    Vote,
+    /// Acknowledgement-shaped traffic: per-operation write acks, negative
+    /// acknowledgements, null keep-alives, ISIS priority proposals.
+    Ack,
+    /// Outcome propagation: abort decisions, sequencer orderings, ISIS
+    /// final priorities.
+    Decision,
+    /// Loss recovery: retransmitted broadcasts and watermark syncs.
+    Retransmit,
+    /// Membership service heartbeats and view agreement.
+    Membership,
+}
+
+impl Phase {
+    /// All phases, in table-column order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Prepare,
+        Phase::Vote,
+        Phase::Ack,
+        Phase::Decision,
+        Phase::Retransmit,
+        Phase::Membership,
+    ];
+
+    /// Short stable name used in benchmark columns and JSON lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prepare => "prepare",
+            Phase::Vote => "vote",
+            Phase::Ack => "ack",
+            Phase::Decision => "decision",
+            Phase::Retransmit => "retransmit",
+            Phase::Membership => "membership",
+        }
+    }
+
+    /// Stable counter name (`phase_<name>`) used by the metrics layer.
+    pub fn counter(self) -> &'static str {
+        match self {
+            Phase::Prepare => "phase_prepare",
+            Phase::Vote => "phase_vote",
+            Phase::Ack => "phase_ack",
+            Phase::Decision => "phase_decision",
+            Phase::Retransmit => "phase_retransmit",
+            Phase::Membership => "phase_membership",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-phase message tally — the structured replacement for a flat
+/// "messages sent" number in benchmark tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Messages in [`Phase::Prepare`].
+    pub prepare: u64,
+    /// Messages in [`Phase::Vote`].
+    pub vote: u64,
+    /// Messages in [`Phase::Ack`].
+    pub ack: u64,
+    /// Messages in [`Phase::Decision`].
+    pub decision: u64,
+    /// Messages in [`Phase::Retransmit`].
+    pub retransmit: u64,
+    /// Messages in [`Phase::Membership`].
+    pub membership: u64,
+}
+
+impl PhaseCounts {
+    /// The count for one phase.
+    pub fn get(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Prepare => self.prepare,
+            Phase::Vote => self.vote,
+            Phase::Ack => self.ack,
+            Phase::Decision => self.decision,
+            Phase::Retransmit => self.retransmit,
+            Phase::Membership => self.membership,
+        }
+    }
+
+    /// Adds `delta` messages to one phase.
+    pub fn add(&mut self, phase: Phase, delta: u64) {
+        let slot = match phase {
+            Phase::Prepare => &mut self.prepare,
+            Phase::Vote => &mut self.vote,
+            Phase::Ack => &mut self.ack,
+            Phase::Decision => &mut self.decision,
+            Phase::Retransmit => &mut self.retransmit,
+            Phase::Membership => &mut self.membership,
+        };
+        *slot += delta;
+    }
+
+    /// Sum over all phases — equals the flat per-kind message total.
+    pub fn total(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// A transaction reference usable below the database layer: the
+/// originating site plus its per-origin sequence number (mirrors
+/// `bcastdb-db`'s `TxnId`, which this crate cannot depend on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnRef {
+    /// Originating site.
+    pub origin: SiteId,
+    /// Per-origin transaction number (1-based).
+    pub num: u64,
+}
+
+impl fmt::Display for TxnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.origin, self.num)
+    }
+}
+
+/// One structured trace record.
+///
+/// Message events (`Send` / `Deliver` / `Drop`) are emitted per
+/// point-to-point transmission with the message's [`Phase`]; lifecycle
+/// events track each transaction from submission to its termination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Virtual send time.
+        at: SimTime,
+        /// Sender.
+        from: SiteId,
+        /// Receiver.
+        to: SiteId,
+        /// Protocol phase of the message.
+        phase: Phase,
+    },
+    /// A message was delivered to its receiver.
+    Deliver {
+        /// Virtual delivery time.
+        at: SimTime,
+        /// Sender.
+        from: SiteId,
+        /// Receiver.
+        to: SiteId,
+        /// Protocol phase of the message.
+        phase: Phase,
+    },
+    /// A message was lost in transit (random loss, crash, or partition).
+    Drop {
+        /// Virtual send time of the lost message.
+        at: SimTime,
+        /// Sender.
+        from: SiteId,
+        /// Intended receiver.
+        to: SiteId,
+        /// Protocol phase of the message.
+        phase: Phase,
+    },
+    /// A client submitted a transaction at its origin site.
+    Submit {
+        /// Virtual submission time.
+        at: SimTime,
+        /// The transaction (its origin is the submitting site).
+        txn: TxnRef,
+        /// True for read-only transactions.
+        read_only: bool,
+    },
+    /// The transaction finished its origin-side read phase (all read
+    /// locks held, versions observed).
+    LocksAcquired {
+        /// Virtual time the last read lock was granted.
+        at: SimTime,
+        /// The transaction.
+        txn: TxnRef,
+    },
+    /// A site fixed its verdict on a transaction: an explicit 2PC vote,
+    /// a causal NACK (`yes = false`), or a certification outcome.
+    Vote {
+        /// Virtual time of the verdict.
+        at: SimTime,
+        /// The judging site.
+        site: SiteId,
+        /// The judged transaction.
+        txn: TxnRef,
+        /// `true` = ready to commit.
+        yes: bool,
+    },
+    /// A site applied the transaction's commit.
+    Commit {
+        /// Virtual commit time at this site.
+        at: SimTime,
+        /// The applying site.
+        site: SiteId,
+        /// The committed transaction.
+        txn: TxnRef,
+    },
+    /// A site recorded the transaction's abort.
+    Abort {
+        /// Virtual abort time at this site.
+        at: SimTime,
+        /// The recording site.
+        site: SiteId,
+        /// The aborted transaction.
+        txn: TxnRef,
+        /// Stable abort-reason counter name (e.g. `abort_wounded`).
+        reason: String,
+    },
+    /// The atomic broadcast delivered a commit request in the agreed
+    /// total order at this site.
+    TotalOrder {
+        /// Virtual delivery time.
+        at: SimTime,
+        /// The delivering site.
+        site: SiteId,
+        /// The ordered transaction.
+        txn: TxnRef,
+        /// Position in the agreed total order.
+        gseq: u64,
+    },
+    /// The membership service installed a new view at this site.
+    ViewChange {
+        /// Virtual installation time.
+        at: SimTime,
+        /// The installing site.
+        site: SiteId,
+        /// The new view's members.
+        members: Vec<SiteId>,
+    },
+    /// A site crash was injected.
+    Crash {
+        /// Virtual crash time.
+        at: SimTime,
+        /// The crashed site.
+        site: SiteId,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Submit { at, .. }
+            | TraceEvent::LocksAcquired { at, .. }
+            | TraceEvent::Vote { at, .. }
+            | TraceEvent::Commit { at, .. }
+            | TraceEvent::Abort { at, .. }
+            | TraceEvent::TotalOrder { at, .. }
+            | TraceEvent::ViewChange { at, .. }
+            | TraceEvent::Crash { at, .. } => at,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// The schema is flat: every value is an unsigned integer, a boolean,
+    /// a string, or an array of site indices. See `DESIGN.md` for the full
+    /// field reference.
+    pub fn to_jsonl(&self) -> String {
+        fn msg(ev: &str, at: SimTime, from: SiteId, to: SiteId, phase: Phase) -> String {
+            format!(
+                "{{\"ev\":\"{ev}\",\"at\":{},\"from\":{},\"to\":{},\"phase\":\"{}\"}}",
+                at.as_micros(),
+                from.0,
+                to.0,
+                phase.name()
+            )
+        }
+        match self {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                phase,
+            } => msg("send", *at, *from, *to, *phase),
+            TraceEvent::Deliver {
+                at,
+                from,
+                to,
+                phase,
+            } => msg("deliver", *at, *from, *to, *phase),
+            TraceEvent::Drop {
+                at,
+                from,
+                to,
+                phase,
+            } => msg("drop", *at, *from, *to, *phase),
+            TraceEvent::Submit { at, txn, read_only } => format!(
+                "{{\"ev\":\"submit\",\"at\":{},\"origin\":{},\"num\":{},\"ro\":{}}}",
+                at.as_micros(),
+                txn.origin.0,
+                txn.num,
+                read_only
+            ),
+            TraceEvent::LocksAcquired { at, txn } => format!(
+                "{{\"ev\":\"locks\",\"at\":{},\"origin\":{},\"num\":{}}}",
+                at.as_micros(),
+                txn.origin.0,
+                txn.num
+            ),
+            TraceEvent::Vote { at, site, txn, yes } => format!(
+                "{{\"ev\":\"vote\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{},\"yes\":{}}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num,
+                yes
+            ),
+            TraceEvent::Commit { at, site, txn } => format!(
+                "{{\"ev\":\"commit\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{}}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num
+            ),
+            TraceEvent::Abort {
+                at,
+                site,
+                txn,
+                reason,
+            } => format!(
+                "{{\"ev\":\"abort\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{},\
+                 \"reason\":\"{}\"}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num,
+                escape(reason)
+            ),
+            TraceEvent::TotalOrder {
+                at,
+                site,
+                txn,
+                gseq,
+            } => format!(
+                "{{\"ev\":\"total_order\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{},\
+                 \"gseq\":{}}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num,
+                gseq
+            ),
+            TraceEvent::ViewChange { at, site, members } => {
+                let m: Vec<String> = members.iter().map(|s| s.0.to_string()).collect();
+                format!(
+                    "{{\"ev\":\"view\",\"at\":{},\"site\":{},\"members\":[{}]}}",
+                    at.as_micros(),
+                    site.0,
+                    m.join(",")
+                )
+            }
+            TraceEvent::Crash { at, site } => format!(
+                "{{\"ev\":\"crash\",\"at\":{},\"site\":{}}}",
+                at.as_micros(),
+                site.0
+            ),
+        }
+    }
+
+    /// Parses one JSON line produced by [`TraceEvent::to_jsonl`].
+    ///
+    /// # Errors
+    /// Returns a description of the first syntactic or semantic problem.
+    pub fn from_jsonl(line: &str) -> Result<TraceEvent, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| fields.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let num = |k: &str| -> Result<u64, String> {
+            match get(k)? {
+                JsonValue::Num(n) => Ok(*n),
+                v => Err(format!("field {k:?}: expected number, got {v:?}")),
+            }
+        };
+        let boolean = |k: &str| -> Result<bool, String> {
+            match get(k)? {
+                JsonValue::Bool(b) => Ok(*b),
+                v => Err(format!("field {k:?}: expected bool, got {v:?}")),
+            }
+        };
+        let string = |k: &str| -> Result<String, String> {
+            match get(k)? {
+                JsonValue::Str(s) => Ok(s.clone()),
+                v => Err(format!("field {k:?}: expected string, got {v:?}")),
+            }
+        };
+        let at = SimTime::from_micros(num("at")?);
+        let site = |k: &str| -> Result<SiteId, String> { Ok(SiteId(num(k)? as usize)) };
+        let txn = || -> Result<TxnRef, String> {
+            Ok(TxnRef {
+                origin: site("origin")?,
+                num: num("num")?,
+            })
+        };
+        let phase = || -> Result<Phase, String> {
+            let s = string("phase")?;
+            Phase::from_name(&s).ok_or_else(|| format!("unknown phase {s:?}"))
+        };
+        match string("ev")?.as_str() {
+            "send" => Ok(TraceEvent::Send {
+                at,
+                from: site("from")?,
+                to: site("to")?,
+                phase: phase()?,
+            }),
+            "deliver" => Ok(TraceEvent::Deliver {
+                at,
+                from: site("from")?,
+                to: site("to")?,
+                phase: phase()?,
+            }),
+            "drop" => Ok(TraceEvent::Drop {
+                at,
+                from: site("from")?,
+                to: site("to")?,
+                phase: phase()?,
+            }),
+            "submit" => Ok(TraceEvent::Submit {
+                at,
+                txn: txn()?,
+                read_only: boolean("ro")?,
+            }),
+            "locks" => Ok(TraceEvent::LocksAcquired { at, txn: txn()? }),
+            "vote" => Ok(TraceEvent::Vote {
+                at,
+                site: site("site")?,
+                txn: txn()?,
+                yes: boolean("yes")?,
+            }),
+            "commit" => Ok(TraceEvent::Commit {
+                at,
+                site: site("site")?,
+                txn: txn()?,
+            }),
+            "abort" => Ok(TraceEvent::Abort {
+                at,
+                site: site("site")?,
+                txn: txn()?,
+                reason: string("reason")?,
+            }),
+            "total_order" => Ok(TraceEvent::TotalOrder {
+                at,
+                site: site("site")?,
+                txn: txn()?,
+                gseq: num("gseq")?,
+            }),
+            "view" => {
+                let members = match get("members")? {
+                    JsonValue::Array(v) => v.iter().map(|&n| SiteId(n as usize)).collect(),
+                    v => return Err(format!("field \"members\": expected array, got {v:?}")),
+                };
+                Ok(TraceEvent::ViewChange {
+                    at,
+                    site: site("site")?,
+                    members,
+                })
+            }
+            "crash" => Ok(TraceEvent::Crash {
+                at,
+                site: site("site")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON parsing (for the JSONL round trip; the schema above
+// never nests objects)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+    Array(Vec<u64>),
+}
+
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing data after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("expected a digit".into());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'0'..=b'9') => Ok(JsonValue::Num(self.parse_number()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_number()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Array(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected keyword {word:?}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks and the tracer handle
+// ---------------------------------------------------------------------
+
+/// A destination for trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// A bounded in-memory sink keeping the most recent events.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (the oldest are
+    /// evicted beyond that).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            buf: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Copies the held events out, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev.clone());
+    }
+}
+
+/// A sink writing one JSON object per event to a [`Write`] target
+/// (typically a `.jsonl` file or an in-memory buffer).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error encountered, if any (subsequent events are
+    /// dropped once a write fails).
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    /// Returns the first deferred write error, or the flush error.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        match writeln!(self.out, "{}", ev.to_jsonl()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// A cheap, cloneable tracing handle. Disabled by default; when disabled,
+/// [`Tracer::emit`] never evaluates its closure, so instrumented hot
+/// paths pay only a branch on an `Option`.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything at zero cost.
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer recording into `sink`.
+    pub fn new<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// True iff a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event produced by `f` — or does nothing (without
+    /// calling `f`) when disabled.
+    pub fn emit<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&f());
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------
+
+/// A violation found by [`TraceInvariants::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolation {
+    /// More deliveries than sends on a link/phase — a message was
+    /// delivered that was never sent.
+    UnsentDelivery {
+        /// Sender of the offending link.
+        from: SiteId,
+        /// Receiver of the offending link.
+        to: SiteId,
+        /// Phase bucket in which the mismatch occurred.
+        phase: Phase,
+        /// Deliveries observed.
+        delivered: u64,
+        /// Sends observed.
+        sent: u64,
+    },
+    /// A transaction terminated more than once at its origin.
+    DoubleTermination {
+        /// The offending transaction.
+        txn: TxnRef,
+        /// Origin-side terminations observed.
+        times: u32,
+    },
+    /// A submitted transaction never terminated at its origin (only
+    /// reported when no crash was injected).
+    MissingTermination {
+        /// The unterminated transaction.
+        txn: TxnRef,
+    },
+    /// A transaction terminated at its origin without ever being
+    /// submitted.
+    PhantomTermination {
+        /// The phantom transaction.
+        txn: TxnRef,
+    },
+    /// A site committed totally-ordered transactions out of their agreed
+    /// order.
+    CommitOrderViolation {
+        /// The offending site.
+        site: SiteId,
+        /// The transaction committed out of order.
+        txn: TxnRef,
+        /// Its agreed position.
+        gseq: u64,
+        /// The larger position already committed at that site.
+        after_gseq: u64,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::UnsentDelivery {
+                from,
+                to,
+                phase,
+                delivered,
+                sent,
+            } => write!(
+                f,
+                "link {from}->{to} phase {phase}: {delivered} deliveries but only {sent} sends"
+            ),
+            TraceViolation::DoubleTermination { txn, times } => {
+                write!(
+                    f,
+                    "transaction {txn} terminated {times} times at its origin"
+                )
+            }
+            TraceViolation::MissingTermination { txn } => {
+                write!(f, "transaction {txn} was submitted but never terminated")
+            }
+            TraceViolation::PhantomTermination { txn } => {
+                write!(f, "transaction {txn} terminated but was never submitted")
+            }
+            TraceViolation::CommitOrderViolation {
+                site,
+                txn,
+                gseq,
+                after_gseq,
+            } => write!(
+                f,
+                "site {site} committed {txn} (gseq {gseq}) after gseq {after_gseq}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TxnLife {
+    submitted: bool,
+    terminations: u32,
+}
+
+/// Streaming trace-invariant checker.
+///
+/// Feed it events (it is itself a [`TraceSink`], so it can sit directly
+/// behind a [`Tracer`]) and call [`TraceInvariants::check`] at the end.
+/// It verifies:
+///
+/// 1. **Delivered ⊆ sent** — per (sender, receiver, phase), no more
+///    deliveries than sends.
+/// 2. **Exactly-once termination** — every submitted transaction commits
+///    or aborts exactly once at its origin (relaxed to *at most once*
+///    when a crash was injected, since a crashed origin loses its
+///    in-flight transactions), and nothing terminates without having
+///    been submitted.
+/// 3. **Commit order respects total order** — at every site, commits of
+///    totally-ordered transactions happen in increasing `gseq` order.
+///
+/// Memory is bounded by the number of links and transactions, not the
+/// number of events, so benchmarks can run it over arbitrarily long
+/// executions.
+#[derive(Debug, Default)]
+pub struct TraceInvariants {
+    sends: BTreeMap<(SiteId, SiteId, Phase), u64>,
+    delivers: BTreeMap<(SiteId, SiteId, Phase), u64>,
+    txns: BTreeMap<TxnRef, TxnLife>,
+    gseq: BTreeMap<(SiteId, TxnRef), u64>,
+    last_gseq_committed: BTreeMap<SiteId, (u64, TxnRef)>,
+    crashed: bool,
+    events: u64,
+    first_violation: Option<TraceViolation>,
+}
+
+impl TraceInvariants {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events ingested.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Ingests one event.
+    pub fn ingest(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match ev {
+            TraceEvent::Send {
+                from, to, phase, ..
+            } => {
+                *self.sends.entry((*from, *to, *phase)).or_insert(0) += 1;
+            }
+            TraceEvent::Deliver {
+                from, to, phase, ..
+            } => {
+                *self.delivers.entry((*from, *to, *phase)).or_insert(0) += 1;
+            }
+            TraceEvent::Drop { .. } => {}
+            TraceEvent::Submit { txn, .. } => {
+                self.txns.entry(*txn).or_default().submitted = true;
+            }
+            TraceEvent::LocksAcquired { .. } | TraceEvent::Vote { .. } => {}
+            TraceEvent::Commit { site, txn, .. } => {
+                if *site == txn.origin {
+                    self.txns.entry(*txn).or_default().terminations += 1;
+                }
+                if let Some(&g) = self.gseq.get(&(*site, *txn)) {
+                    if let Some(&(last, last_txn)) = self.last_gseq_committed.get(site) {
+                        // A duplicate commit of the same transaction is a
+                        // termination bug, not an ordering one — leave it to
+                        // the exactly-once check.
+                        let out_of_order = g < last || (g == last && *txn != last_txn);
+                        if out_of_order && self.first_violation.is_none() {
+                            self.first_violation = Some(TraceViolation::CommitOrderViolation {
+                                site: *site,
+                                txn: *txn,
+                                gseq: g,
+                                after_gseq: last,
+                            });
+                        }
+                    }
+                    let entry = self.last_gseq_committed.entry(*site).or_insert((g, *txn));
+                    if g >= entry.0 {
+                        *entry = (g, *txn);
+                    }
+                }
+            }
+            TraceEvent::Abort { site, txn, .. } => {
+                if *site == txn.origin {
+                    self.txns.entry(*txn).or_default().terminations += 1;
+                }
+            }
+            TraceEvent::TotalOrder {
+                site, txn, gseq, ..
+            } => {
+                self.gseq.insert((*site, *txn), *gseq);
+            }
+            TraceEvent::ViewChange { .. } => {}
+            TraceEvent::Crash { .. } => self.crashed = true,
+        }
+    }
+
+    /// Checks every invariant over the events ingested so far.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), TraceViolation> {
+        self.check_inner(false)
+    }
+
+    /// Like [`TraceInvariants::check`], but tolerates submitted
+    /// transactions that never terminated. For executions that
+    /// *deliberately* end with transactions in flight — e.g. measuring the
+    /// causal protocol's implicit-acknowledgement starvation with
+    /// keep-alives disabled, where wedged commits are the phenomenon under
+    /// study. Every other invariant still applies.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn check_allowing_pending(&self) -> Result<(), TraceViolation> {
+        self.check_inner(true)
+    }
+
+    fn check_inner(&self, allow_pending: bool) -> Result<(), TraceViolation> {
+        if let Some(v) = &self.first_violation {
+            return Err(v.clone());
+        }
+        for (&(from, to, phase), &delivered) in &self.delivers {
+            let sent = self.sends.get(&(from, to, phase)).copied().unwrap_or(0);
+            if delivered > sent {
+                return Err(TraceViolation::UnsentDelivery {
+                    from,
+                    to,
+                    phase,
+                    delivered,
+                    sent,
+                });
+            }
+        }
+        for (&txn, life) in &self.txns {
+            if life.terminations > 1 {
+                return Err(TraceViolation::DoubleTermination {
+                    txn,
+                    times: life.terminations,
+                });
+            }
+            if life.terminations == 1 && !life.submitted {
+                return Err(TraceViolation::PhantomTermination { txn });
+            }
+            if life.submitted && life.terminations == 0 && !self.crashed && !allow_pending {
+                return Err(TraceViolation::MissingTermination { txn });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for TraceInvariants {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.ingest(ev);
+    }
+}
+
+/// Checks the trace invariants over a slice of events (convenience
+/// wrapper around [`TraceInvariants`]).
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn check_trace(events: &[TraceEvent]) -> Result<(), TraceViolation> {
+    let mut inv = TraceInvariants::new();
+    for ev in events {
+        inv.ingest(ev);
+    }
+    inv.check()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn txn(origin: usize, num: u64) -> TxnRef {
+        TxnRef {
+            origin: SiteId(origin),
+            num,
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Submit {
+                at: t(1),
+                txn: txn(0, 1),
+                read_only: false,
+            },
+            TraceEvent::LocksAcquired {
+                at: t(2),
+                txn: txn(0, 1),
+            },
+            TraceEvent::Send {
+                at: t(3),
+                from: SiteId(0),
+                to: SiteId(1),
+                phase: Phase::Prepare,
+            },
+            TraceEvent::Deliver {
+                at: t(4),
+                from: SiteId(0),
+                to: SiteId(1),
+                phase: Phase::Prepare,
+            },
+            TraceEvent::Vote {
+                at: t(5),
+                site: SiteId(1),
+                txn: txn(0, 1),
+                yes: true,
+            },
+            TraceEvent::TotalOrder {
+                at: t(6),
+                site: SiteId(0),
+                txn: txn(0, 1),
+                gseq: 1,
+            },
+            TraceEvent::Commit {
+                at: t(7),
+                site: SiteId(0),
+                txn: txn(0, 1),
+            },
+            TraceEvent::Commit {
+                at: t(7),
+                site: SiteId(1),
+                txn: txn(0, 1),
+            },
+        ]
+    }
+
+    #[test]
+    fn disabled_tracer_never_evaluates_the_closure() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        tracer.emit(|| panic!("closure must not run when tracing is disabled"));
+    }
+
+    #[test]
+    fn enabled_tracer_records_into_the_sink() {
+        let ring = Rc::new(RefCell::new(RingSink::new(4)));
+        let tracer = Tracer::new(ring.clone());
+        assert!(tracer.is_enabled());
+        tracer.emit(|| TraceEvent::Crash {
+            at: t(9),
+            site: SiteId(2),
+        });
+        assert_eq!(
+            ring.borrow().to_vec(),
+            vec![TraceEvent::Crash {
+                at: t(9),
+                site: SiteId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.record(&TraceEvent::Crash {
+                at: t(i),
+                site: SiteId(0),
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.evicted(), 3);
+        let kept: Vec<u64> = ring.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_variant() {
+        let mut all = sample_events();
+        all.push(TraceEvent::Drop {
+            at: t(8),
+            from: SiteId(1),
+            to: SiteId(2),
+            phase: Phase::Retransmit,
+        });
+        all.push(TraceEvent::Abort {
+            at: t(9),
+            site: SiteId(0),
+            txn: txn(0, 2),
+            reason: "abort_wounded".into(),
+        });
+        all.push(TraceEvent::ViewChange {
+            at: t(10),
+            site: SiteId(1),
+            members: vec![SiteId(0), SiteId(1)],
+        });
+        all.push(TraceEvent::Crash {
+            at: t(11),
+            site: SiteId(2),
+        });
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in &all {
+            sink.record(ev);
+        }
+        assert_eq!(sink.lines(), all.len() as u64);
+        let bytes = sink.into_inner().expect("no I/O errors on a Vec");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_jsonl(l).expect("parse"))
+            .collect();
+        assert_eq!(parsed, all);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(TraceEvent::from_jsonl("not json").is_err());
+        assert!(
+            TraceEvent::from_jsonl("{\"ev\":\"send\"}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            TraceEvent::from_jsonl("{\"ev\":\"warp\",\"at\":1}").is_err(),
+            "unknown event type"
+        );
+        assert!(
+            TraceEvent::from_jsonl(
+                "{\"ev\":\"send\",\"at\":1,\"from\":0,\"to\":1,\"phase\":\"warp\"}"
+            )
+            .is_err(),
+            "unknown phase"
+        );
+    }
+
+    #[test]
+    fn phase_counts_sum() {
+        let mut pc = PhaseCounts::default();
+        pc.add(Phase::Prepare, 5);
+        pc.add(Phase::Vote, 2);
+        pc.add(Phase::Membership, 1);
+        assert_eq!(pc.get(Phase::Prepare), 5);
+        assert_eq!(pc.get(Phase::Ack), 0);
+        assert_eq!(pc.total(), 8);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+            assert!(p.counter().starts_with("phase_"));
+        }
+        assert_eq!(Phase::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn clean_trace_passes_the_checker() {
+        check_trace(&sample_events()).expect("clean trace");
+    }
+
+    #[test]
+    fn unsent_delivery_is_rejected() {
+        let mut evs = sample_events();
+        evs.retain(|e| !matches!(e, TraceEvent::Send { .. }));
+        let err = check_trace(&evs).unwrap_err();
+        assert!(
+            matches!(err, TraceViolation::UnsentDelivery { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn double_termination_is_rejected() {
+        let mut evs = sample_events();
+        evs.push(TraceEvent::Commit {
+            at: t(8),
+            site: SiteId(0),
+            txn: txn(0, 1),
+        });
+        let err = check_trace(&evs).unwrap_err();
+        assert!(
+            matches!(err, TraceViolation::DoubleTermination { times: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_termination_is_rejected_without_crashes() {
+        let evs = vec![TraceEvent::Submit {
+            at: t(1),
+            txn: txn(0, 1),
+            read_only: false,
+        }];
+        let err = check_trace(&evs).unwrap_err();
+        assert!(
+            matches!(err, TraceViolation::MissingTermination { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn crash_relaxes_missing_termination() {
+        let evs = vec![
+            TraceEvent::Submit {
+                at: t(1),
+                txn: txn(0, 1),
+                read_only: false,
+            },
+            TraceEvent::Crash {
+                at: t(2),
+                site: SiteId(0),
+            },
+        ];
+        check_trace(&evs).expect("crashed origins may lose transactions");
+    }
+
+    #[test]
+    fn phantom_termination_is_rejected() {
+        let evs = vec![TraceEvent::Commit {
+            at: t(1),
+            site: SiteId(3),
+            txn: txn(3, 9),
+        }];
+        let err = check_trace(&evs).unwrap_err();
+        assert!(
+            matches!(err, TraceViolation::PhantomTermination { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_commit_is_rejected() {
+        let evs = vec![
+            TraceEvent::Submit {
+                at: t(0),
+                txn: txn(0, 1),
+                read_only: false,
+            },
+            TraceEvent::Submit {
+                at: t(0),
+                txn: txn(1, 1),
+                read_only: false,
+            },
+            TraceEvent::TotalOrder {
+                at: t(1),
+                site: SiteId(0),
+                txn: txn(0, 1),
+                gseq: 1,
+            },
+            TraceEvent::TotalOrder {
+                at: t(1),
+                site: SiteId(0),
+                txn: txn(1, 1),
+                gseq: 2,
+            },
+            // Site 0 commits gseq 2 before gseq 1:
+            TraceEvent::Commit {
+                at: t(2),
+                site: SiteId(0),
+                txn: txn(1, 1),
+            },
+            TraceEvent::Commit {
+                at: t(3),
+                site: SiteId(0),
+                txn: txn(0, 1),
+            },
+            TraceEvent::Commit {
+                at: t(3),
+                site: SiteId(1),
+                txn: txn(0, 1),
+            },
+            TraceEvent::Commit {
+                at: t(3),
+                site: SiteId(1),
+                txn: txn(1, 1),
+            },
+        ];
+        let err = check_trace(&evs).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceViolation::CommitOrderViolation {
+                    gseq: 1,
+                    after_gseq: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn checker_memory_is_bounded_by_links_not_events() {
+        let mut inv = TraceInvariants::new();
+        for i in 0..100_000u64 {
+            inv.ingest(&TraceEvent::Send {
+                at: t(i),
+                from: SiteId(0),
+                to: SiteId(1),
+                phase: Phase::Prepare,
+            });
+        }
+        assert_eq!(inv.events(), 100_000);
+        assert_eq!(inv.sends.len(), 1);
+        inv.check().expect("sends alone violate nothing");
+    }
+}

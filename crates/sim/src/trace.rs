@@ -237,7 +237,7 @@ mod tests {
         }
         assert_eq!(s.count(), 100);
         assert_eq!(s.mean().as_micros(), 50); // (5050/100) truncated
-        // nearest-rank on an even count rounds up: index round(99*0.5)=50.
+                                              // nearest-rank on an even count rounds up: index round(99*0.5)=50.
         assert_eq!(s.p50().as_micros(), 51);
         assert_eq!(s.p95().as_micros(), 95);
         assert_eq!(s.max().as_micros(), 100);

@@ -186,7 +186,11 @@ mod tests {
     use bcastdb_core::ProtocolKind;
 
     fn cluster(proto: ProtocolKind, sites: usize, seed: u64) -> Cluster {
-        Cluster::builder().sites(sites).protocol(proto).seed(seed).build()
+        Cluster::builder()
+            .sites(sites)
+            .protocol(proto)
+            .seed(seed)
+            .build()
     }
 
     fn small_cfg() -> WorkloadConfig {
@@ -213,7 +217,8 @@ mod tests {
                 "{proto}: all transactions terminated"
             );
             assert!(report.metrics.commits() >= 25, "{proto}: too many aborts");
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
         }
     }
 
@@ -230,7 +235,8 @@ mod tests {
                 "{proto}"
             );
             assert!(report.converged, "{proto}");
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
         }
     }
 
@@ -250,7 +256,8 @@ mod tests {
             let report = run.open_loop(&mut c, 8, SimDuration::from_millis(2));
             assert!(report.quiesced, "{proto}: stuck under contention");
             assert!(report.converged, "{proto}: diverged under contention");
-            c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+            c.check_serializability()
+                .unwrap_or_else(|v| panic!("{proto}: {v}"));
             // Every transaction terminated one way or the other.
             assert_eq!(
                 report.metrics.commits() + report.metrics.aborts(),

@@ -78,7 +78,6 @@ impl Scenario {
                 writes_per_txn: 2,
                 reads_per_ro_txn: 6,
                 readonly_fraction: 0.5,
-                ..WorkloadConfig::default()
             },
             Scenario::HotSpot => WorkloadConfig {
                 n_keys: 1,
@@ -118,13 +117,8 @@ mod tests {
 
     #[test]
     fn contention_ordering_holds() {
-        assert!(
-            Scenario::LowContention.config().n_keys
-                > Scenario::Moderate.config().n_keys
-        );
-        assert!(
-            Scenario::Moderate.config().n_keys > Scenario::HighContention.config().n_keys
-        );
+        assert!(Scenario::LowContention.config().n_keys > Scenario::Moderate.config().n_keys);
+        assert!(Scenario::Moderate.config().n_keys > Scenario::HighContention.config().n_keys);
     }
 
     /// Cross-crate smoke: every scenario runs clean on every protocol.
@@ -136,11 +130,7 @@ mod tests {
 
         for scenario in Scenario::ALL {
             for proto in ProtocolKind::ALL {
-                let mut cluster = Cluster::builder()
-                    .sites(3)
-                    .protocol(proto)
-                    .seed(97)
-                    .build();
+                let mut cluster = Cluster::builder().sites(3).protocol(proto).seed(97).build();
                 let run = WorkloadRun::new(scenario.config(), 970);
                 let report = run.open_loop(&mut cluster, 5, SimDuration::from_millis(5));
                 assert!(report.quiesced, "{proto}/{scenario}");

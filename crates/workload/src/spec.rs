@@ -202,11 +202,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty database")]
     fn zero_keys_invalid() {
-        WorkloadConfig {
-            n_keys: 0,
-            ..cfg()
-        }
-        .validate();
+        WorkloadConfig { n_keys: 0, ..cfg() }.validate();
     }
 
     #[test]

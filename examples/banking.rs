@@ -65,18 +65,27 @@ fn main() {
         println!("transfer {t}: {:?}", cluster.outcome(*t));
     }
     for a in &audits {
-        assert!(cluster.is_committed(*a), "read-only transactions never abort");
+        assert!(
+            cluster.is_committed(*a),
+            "read-only transactions never abort"
+        );
     }
 
     // Conservation: total money is invariant at every replica.
     for site in cluster.sites().collect::<Vec<_>>() {
         let total: i64 = (0..ACCOUNTS)
-            .map(|i| cluster.committed_value(site, account(i)).unwrap_or(INITIAL_BALANCE))
+            .map(|i| {
+                cluster
+                    .committed_value(site, account(i))
+                    .unwrap_or(INITIAL_BALANCE)
+            })
             .sum();
         println!("{site}: total balance {total}");
         assert_eq!(total, ACCOUNTS as i64 * INITIAL_BALANCE, "money conserved");
     }
 
-    cluster.check_serializability().expect("one-copy serializable");
+    cluster
+        .check_serializability()
+        .expect("one-copy serializable");
     println!("ledger serializable across {} replicas ✓", 5);
 }

@@ -36,7 +36,11 @@ fn main() {
     let survivors: Vec<SiteId> = (0..4).map(SiteId).collect();
     for s in &survivors {
         let view = cluster.replica(*s).view_members();
-        println!("{s}: view={:?} operational={}", view, cluster.replica(*s).is_operational());
+        println!(
+            "{s}: view={:?} operational={}",
+            view,
+            cluster.replica(*s).is_operational()
+        );
         assert!(!view.contains(&SiteId(4)), "crashed site evicted at {s}");
     }
 
@@ -61,7 +65,11 @@ fn main() {
     // redo log — everything it had applied before failing.
     let crashed_log = &cluster.replica(SiteId(4)).state().log;
     let recovered = crashed_log.replay();
-    assert_eq!(recovered.value(&Key::new("x")), 1, "pre-crash state recovered");
+    assert_eq!(
+        recovered.value(&Key::new("x")),
+        1,
+        "pre-crash state recovered"
+    );
     println!(
         "s4 recovered {} committed txns from its redo log",
         crashed_log.committed().len()

@@ -23,11 +23,7 @@ fn main() {
         "protocol", "commits", "aborts", "messages", "mean-lat", "p95-lat"
     );
     for proto in ProtocolKind::ALL {
-        let mut cluster = Cluster::builder()
-            .sites(5)
-            .protocol(proto)
-            .seed(99)
-            .build();
+        let mut cluster = Cluster::builder().sites(5).protocol(proto).seed(99).build();
         let run = WorkloadRun::new(cfg.clone(), 1234);
         let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(20));
         cluster

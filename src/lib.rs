@@ -62,8 +62,11 @@ pub use bcastdb_workload as workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use bcastdb_core::{Cluster, ClusterBuilder, Placement, ProtocolKind, TxnId, TxnOutcome, TxnSpec};
+    pub use bcastdb_core::{
+        Cluster, ClusterBuilder, Placement, ProtocolKind, TxnId, TxnOutcome, TxnSpec,
+    };
     pub use bcastdb_db::Key;
+    pub use bcastdb_sim::telemetry::{Phase, PhaseCounts, TraceEvent, TraceViolation};
     pub use bcastdb_sim::{SimDuration, SimTime, SiteId};
     pub use bcastdb_workload::{WorkloadConfig, WorkloadRun};
 }

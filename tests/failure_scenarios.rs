@@ -16,12 +16,13 @@ fn failure_cluster(proto: ProtocolKind, sites: usize, seed: u64) -> Cluster {
 
 #[test]
 fn majority_keeps_committing_after_crash() {
-    for proto in [
-        ProtocolKind::ReliableBcast,
-        ProtocolKind::CausalBcast,
-    ] {
+    for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
         let mut c = failure_cluster(proto, 5, 31);
-        let t1 = c.submit_at(SimTime::from_micros(1_000), SiteId(1), TxnSpec::new().write("x", 1));
+        let t1 = c.submit_at(
+            SimTime::from_micros(1_000),
+            SiteId(1),
+            TxnSpec::new().write("x", 1),
+        );
         c.run_until(SimTime::from_micros(150_000));
         assert!(c.is_committed(t1), "{proto}: pre-crash commit");
 
@@ -32,7 +33,10 @@ fn majority_keeps_committing_after_crash() {
                 !c.replica(s).view_members().contains(&SiteId(4)),
                 "{proto}: crashed site still in view at {s}"
             );
-            assert!(c.replica(s).is_operational(), "{proto}: {s} not operational");
+            assert!(
+                c.replica(s).is_operational(),
+                "{proto}: {s} not operational"
+            );
         }
 
         let t2 = c.submit_at(
@@ -53,14 +57,21 @@ fn atomic_protocol_survives_sequencer_crash() {
     // Site 0 is the fixed sequencer; crashing it forces failover to the
     // next view coordinator.
     let mut c = failure_cluster(ProtocolKind::AtomicBcast, 5, 37);
-    let t1 = c.submit_at(SimTime::from_micros(1_000), SiteId(2), TxnSpec::new().write("a", 1));
+    let t1 = c.submit_at(
+        SimTime::from_micros(1_000),
+        SiteId(2),
+        TxnSpec::new().write("a", 1),
+    );
     c.run_until(SimTime::from_micros(150_000));
     assert!(c.is_committed(t1));
 
     c.crash(SiteId(0));
     c.run_until(SimTime::from_micros(600_000));
     for s in (1..5).map(SiteId) {
-        assert!(c.replica(s).is_operational(), "{s} operational after failover");
+        assert!(
+            c.replica(s).is_operational(),
+            "{s} operational after failover"
+        );
     }
 
     let t2 = c.submit_at(
@@ -69,12 +80,16 @@ fn atomic_protocol_survives_sequencer_crash() {
         TxnSpec::new().read("a").write("a", 2),
     );
     c.run_until(SimTime::from_micros(1_600_000));
-    assert!(c.is_committed(t2), "commits continue under the new sequencer");
+    assert!(
+        c.is_committed(t2),
+        "commits continue under the new sequencer"
+    );
     let survivors: Vec<SiteId> = (1..5).map(SiteId).collect();
     for s in &survivors {
         assert_eq!(c.committed_value(*s, "a"), Some(2));
     }
-    c.check_serializability_among(&survivors).expect("serializable");
+    c.check_serializability_among(&survivors)
+        .expect("serializable");
 }
 
 #[test]
@@ -106,7 +121,11 @@ fn minority_partition_blocks() {
 #[test]
 fn redo_log_recovers_committed_state() {
     let mut c = failure_cluster(ProtocolKind::ReliableBcast, 3, 43);
-    let t1 = c.submit_at(SimTime::from_micros(1_000), SiteId(0), TxnSpec::new().write("x", 1));
+    let t1 = c.submit_at(
+        SimTime::from_micros(1_000),
+        SiteId(0),
+        TxnSpec::new().write("x", 1),
+    );
     let t2 = c.submit_at(
         SimTime::from_micros(100_000),
         SiteId(1),
@@ -135,7 +154,11 @@ fn in_flight_transactions_from_crashed_origin_abort() {
     // Submit at site 4 and crash it almost immediately — before votes can
     // complete (the suspicion timeout far exceeds the commit latency, so
     // pick a crash instant right after the submit timer).
-    c.submit_at(SimTime::from_micros(21_000), SiteId(4), TxnSpec::new().write("z", 9));
+    c.submit_at(
+        SimTime::from_micros(21_000),
+        SiteId(4),
+        TxnSpec::new().write("z", 9),
+    );
     c.run_until(SimTime::from_micros(21_500));
     c.crash(SiteId(4));
     c.run_until(SimTime::from_micros(800_000));
@@ -149,7 +172,8 @@ fn in_flight_transactions_from_crashed_origin_abort() {
         );
     }
     let survivors: Vec<SiteId> = (0..4).map(SiteId).collect();
-    c.check_serializability_among(&survivors).expect("serializable");
+    c.check_serializability_among(&survivors)
+        .expect("serializable");
 }
 
 #[test]
@@ -161,7 +185,11 @@ fn crashed_site_recovers_by_state_transfer_and_rejoins() {
     ] {
         let mut c = failure_cluster(proto, 5, 53);
         // Phase 1: normal load, then crash site 4.
-        let t1 = c.submit_at(SimTime::from_micros(1_000), SiteId(0), TxnSpec::new().write("x", 1));
+        let t1 = c.submit_at(
+            SimTime::from_micros(1_000),
+            SiteId(0),
+            TxnSpec::new().write("x", 1),
+        );
         c.run_until(SimTime::from_micros(150_000));
         assert!(c.is_committed(t1), "{proto}");
         c.crash(SiteId(4));
@@ -173,7 +201,11 @@ fn crashed_site_recovers_by_state_transfer_and_rejoins() {
         );
         c.run_until(SimTime::from_micros(900_000));
         assert!(c.is_committed(t2), "{proto}");
-        assert_eq!(c.committed_value(SiteId(4), "x"), Some(1), "{proto}: crashed site is stale");
+        assert_eq!(
+            c.committed_value(SiteId(4), "x"),
+            Some(1),
+            "{proto}: crashed site is stale"
+        );
         // Phase 3: recover site 4 from site 0 and let membership re-admit it.
         c.recover(SiteId(4), SiteId(0));
         c.run_until(SimTime::from_micros(1_500_000));
@@ -219,7 +251,10 @@ fn partition_and_heal_round_trip() {
         assert!(c.replica(*s).is_operational(), "{s} majority side blocked");
     }
     for s in &minority {
-        assert!(!c.replica(*s).is_operational(), "{s} minority side kept running");
+        assert!(
+            !c.replica(*s).is_operational(),
+            "{s} minority side kept running"
+        );
     }
 
     // Majority-side commit during the partition.
@@ -229,7 +264,10 @@ fn partition_and_heal_round_trip() {
         TxnSpec::new().write("p", 1),
     );
     c.run_until(SimTime::from_micros(900_000));
-    assert!(c.is_committed(t), "majority must commit during the partition");
+    assert!(
+        c.is_committed(t),
+        "majority must commit during the partition"
+    );
 
     // Heal; minority catches up via state transfer and rejoins.
     c.heal_partitions();
@@ -237,8 +275,15 @@ fn partition_and_heal_round_trip() {
     c.recover(SiteId(4), SiteId(0));
     c.run_until(SimTime::from_micros(1_600_000));
     for s in c.sites().collect::<Vec<_>>() {
-        assert_eq!(c.committed_value(s, "p"), Some(1), "{s} missing partition-era commit");
-        assert!(c.replica(s).is_operational(), "{s} not operational after heal");
+        assert_eq!(
+            c.committed_value(s, "p"),
+            Some(1),
+            "{s} missing partition-era commit"
+        );
+        assert!(
+            c.replica(s).is_operational(),
+            "{s} not operational after heal"
+        );
     }
 
     let t2 = c.submit_at(
@@ -247,5 +292,8 @@ fn partition_and_heal_round_trip() {
         TxnSpec::new().read("p").write("q", 2),
     );
     c.run_until(SimTime::from_micros(2_500_000));
-    assert!(c.is_committed(t2), "healed minority site must serve transactions");
+    assert!(
+        c.is_committed(t2),
+        "healed minority site must serve transactions"
+    );
 }

@@ -35,7 +35,9 @@ fn reliable_protocol_survives_five_percent_loss_with_relay() {
         report.metrics.commits() > 0,
         "nothing committed under 5% loss"
     );
-    cluster.check_serializability().expect("serializable under loss");
+    cluster
+        .check_serializability()
+        .expect("serializable under loss");
 }
 
 #[test]
@@ -59,7 +61,9 @@ fn causal_protocol_survives_five_percent_loss_with_relay() {
     assert!(report.quiesced, "lost messages wedged the cluster");
     assert!(report.converged, "replicas diverged under loss");
     assert!(report.metrics.commits() > 0);
-    cluster.check_serializability().expect("serializable under loss");
+    cluster
+        .check_serializability()
+        .expect("serializable under loss");
 }
 
 #[test]

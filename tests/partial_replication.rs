@@ -4,9 +4,9 @@
 //! only holders lock and install. Reads stay local, so transactions read
 //! keys their origin holds.
 
+use bcastdb::db::Key;
 use bcastdb::prelude::*;
 use bcastdb::protocols::{Placement, ProtocolKind};
-use bcastdb::db::Key;
 
 fn ring2() -> Placement {
     Placement::Ring { replicas: 2 }
@@ -134,8 +134,13 @@ fn partial_replication_single_copy_keys() {
             let holders = p.holders(&Key::new(key.as_str()), n);
             assert_eq!(holders.len(), 1);
             let h = *holders.iter().next().expect("one holder");
-            assert_eq!(c.committed_value(h, key.as_str()), Some(i as i64), "{proto}");
+            assert_eq!(
+                c.committed_value(h, key.as_str()),
+                Some(i as i64),
+                "{proto}"
+            );
         }
-        c.check_serializability().unwrap_or_else(|v| panic!("{proto}: {v}"));
+        c.check_serializability()
+            .unwrap_or_else(|v| panic!("{proto}: {v}"));
     }
 }

@@ -27,7 +27,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         max_shrink_iters: 0, // each case is a full simulation; don't shrink
-        .. ProptestConfig::default()
     })]
 
     #[test]

@@ -54,11 +54,7 @@ fn extreme_contention_single_hot_key() {
         ..WorkloadConfig::default()
     };
     for proto in all_protocols() {
-        let mut cluster = Cluster::builder()
-            .sites(3)
-            .protocol(proto)
-            .seed(5)
-            .build();
+        let mut cluster = Cluster::builder().sites(3).protocol(proto).seed(5).build();
         let run = WorkloadRun::new(cfg.clone(), 77);
         let report = run.open_loop(&mut cluster, 10, SimDuration::from_micros(500));
         assert!(report.quiesced, "{proto}: hot key wedged the cluster");
@@ -78,14 +74,9 @@ fn read_only_transactions_never_abort_on_rb_and_cb() {
         writes_per_txn: 2,
         reads_per_ro_txn: 5,
         readonly_fraction: 0.5,
-        ..WorkloadConfig::default()
     };
     for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
-        let mut cluster = Cluster::builder()
-            .sites(4)
-            .protocol(proto)
-            .seed(8)
-            .build();
+        let mut cluster = Cluster::builder().sites(4).protocol(proto).seed(8).build();
         let run = WorkloadRun::new(cfg.clone(), 88);
         let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(2));
         assert!(report.quiesced, "{proto}");
@@ -94,7 +85,10 @@ fn read_only_transactions_never_abort_on_rb_and_cb() {
         // wounds could touch them and those spare read-only transactions,
         // every abort must come from update transactions.
         let commits_ro = report.metrics.counters.get("commits_readonly");
-        assert!(commits_ro > 0, "{proto}: workload produced no read-only txns");
+        assert!(
+            commits_ro > 0,
+            "{proto}: workload produced no read-only txns"
+        );
         cluster
             .check_serializability()
             .unwrap_or_else(|v| panic!("{proto}: {v}"));
@@ -111,11 +105,7 @@ fn larger_cluster_seven_sites() {
         ..WorkloadConfig::default()
     };
     for proto in all_protocols() {
-        let mut cluster = Cluster::builder()
-            .sites(7)
-            .protocol(proto)
-            .seed(17)
-            .build();
+        let mut cluster = Cluster::builder().sites(7).protocol(proto).seed(17).build();
         let run = WorkloadRun::new(cfg.clone(), 170);
         let report = run.open_loop(&mut cluster, 6, SimDuration::from_millis(10));
         assert!(report.quiesced && report.converged, "{proto}");
@@ -149,8 +139,14 @@ fn message_cost_ordering_matches_the_paper() {
     // can cost as much as the votes they replace (the paper itself notes
     // implicit acks want ongoing traffic), so only >= holds for a single
     // isolated transaction; the dense-traffic comparison is experiment T1.
-    assert!(rb >= cb, "reliable {rb} should not be cheaper than causal {cb}");
-    assert!(cb > ab, "causal {cb} should exceed atomic {ab} (acks removed)");
+    assert!(
+        rb >= cb,
+        "reliable {rb} should not be cheaper than causal {cb}"
+    );
+    assert!(
+        cb > ab,
+        "causal {cb} should exceed atomic {ab} (acks removed)"
+    );
 }
 
 #[test]
@@ -209,7 +205,6 @@ fn think_time_read_phases_stay_serializable() {
         writes_per_txn: 2,
         reads_per_ro_txn: 5,
         readonly_fraction: 0.3,
-        ..WorkloadConfig::default()
     };
     for proto in all_protocols() {
         let mut cluster = Cluster::builder()
@@ -245,7 +240,6 @@ fn atomic_protocol_wounds_slow_readers() {
         writes_per_txn: 2,
         reads_per_ro_txn: 6,
         readonly_fraction: 0.4,
-        ..WorkloadConfig::default()
     };
     let run_wounds = |proto: ProtocolKind| {
         let mut cluster = Cluster::builder()
@@ -275,7 +269,8 @@ fn conflict_free_workload_yields_identical_state_across_protocols() {
     // commit everything — and since the final value of each key is then
     // determined solely by its single writer, all four protocols produce
     // the *same* final database.
-    let mut finals: Vec<(ProtocolKind, Vec<(String, Option<i64>)>)> = Vec::new();
+    type FinalDb = Vec<(String, Option<i64>)>;
+    let mut finals: Vec<(ProtocolKind, FinalDb)> = Vec::new();
     for proto in all_protocols() {
         let mut cluster = Cluster::builder().sites(4).protocol(proto).seed(42).build();
         for site in 0..4usize {
@@ -291,14 +286,21 @@ fn conflict_free_workload_yields_identical_state_across_protocols() {
         }
         cluster.run_to_quiescence();
         let m = cluster.metrics();
-        assert_eq!(m.commits(), 24, "{proto}: conflict-free txns must all commit");
+        assert_eq!(
+            m.commits(),
+            24,
+            "{proto}: conflict-free txns must all commit"
+        );
         assert_eq!(m.aborts(), 0, "{proto}");
         cluster.check_serializability().expect("serializable");
         let mut snapshot = Vec::new();
         for site in 0..4usize {
             for i in 0..6u64 {
                 let key = format!("s{site}k{i}");
-                snapshot.push((key.clone(), cluster.committed_value(SiteId(0), key.as_str())));
+                snapshot.push((
+                    key.clone(),
+                    cluster.committed_value(SiteId(0), key.as_str()),
+                ));
             }
         }
         finals.push((proto, snapshot));
@@ -334,7 +336,10 @@ fn wan_profile_all_protocols() {
         let run = WorkloadRun::new(cfg.clone(), 770);
         let report = run.open_loop(&mut cluster, 8, SimDuration::from_millis(100));
         assert!(report.quiesced, "{proto}: WAN run wedged");
-        assert!(report.all_terminated(), "{proto}: WAN run lost transactions");
+        assert!(
+            report.all_terminated(),
+            "{proto}: WAN run lost transactions"
+        );
         assert!(report.converged, "{proto}");
         cluster.check_serializability().expect("serializable");
     }

@@ -29,7 +29,10 @@ fn causal_per_operation_concurrency_straddle() {
     let run = WorkloadRun::new(cfg, 130 + 50);
     let report = run.open_loop(&mut c, 20, SimDuration::from_millis(4));
     assert!(report.quiesced);
-    assert!(report.converged, "first-op-only classification diverged here");
+    assert!(
+        report.converged,
+        "first-op-only classification diverged here"
+    );
     c.check_serializability().expect("serializable");
 }
 
@@ -116,7 +119,6 @@ fn readers_never_jump_queued_writers() {
         writes_per_txn: 2,
         reads_per_ro_txn: 5,
         readonly_fraction: 0.5,
-        ..WorkloadConfig::default()
     };
     let mut c = Cluster::builder()
         .sites(4)
@@ -246,6 +248,9 @@ fn causal_origin_vetoes_precede_commit_request() {
     let run = WorkloadRun::new(cfg, 303 ^ 0xABCD);
     let report = run.open_loop(&mut c, 9, SimDuration::from_micros(14448));
     assert!(report.quiesced && report.all_terminated());
-    assert!(report.converged, "origin veto raced the remote's instant ack");
+    assert!(
+        report.converged,
+        "origin veto raced the remote's instant ack"
+    );
     c.check_serializability().expect("serializable");
 }

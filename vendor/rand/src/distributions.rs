@@ -1,0 +1,126 @@
+//! Sampling distributions: the `Standard` distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Samples one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, mirroring `rand`'s trait split:
+    //! [`SampleUniform`] is the element type's capability, [`SampleRange`]
+    //! the range shape.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly between two bounds.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform sample from `[lo, hi)`.
+        ///
+        /// # Panics
+        /// Panics if `lo >= hi`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform sample from `[lo, hi]`.
+        ///
+        /// # Panics
+        /// Panics if `lo > hi`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            assert!(lo < hi, "gen_range: empty range");
+            let u = crate::unit_f64(rng);
+            let x = lo + u * (hi - lo);
+            // Rounding can push the product up to `hi` for tiny spans.
+            if x < hi {
+                x
+            } else {
+                lo
+            }
+        }
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            assert!(lo <= hi, "gen_range: empty range");
+            let u = crate::unit_f64(rng);
+            (lo + u * (hi - lo)).clamp(lo, hi)
+        }
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from this range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: SplitMix64.
+///
+/// One 64-bit word of state advanced by a Weyl sequence and finalized
+/// with two xor-shift-multiply rounds — the classic output function from
+/// Steele/Lea/Flood "Fast splittable pseudorandom number generators".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // One warm-up mix so adjacent seeds do not start adjacent.
+        let mut rng = StdRng {
+            state: state ^ 0x5851_F42D_4C95_7F2D,
+        };
+        rng.state = rng.next_u64();
+        rng
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Defines the trait shapes (`Serialize`/`Serializer`,
+//! `Deserialize`/`Deserializer`) that the workspace's two manual impls
+//! (`bcastdb_db::Key`) compile against, and re-exports the no-op derive
+//! markers from the `serde_derive` stand-in. There is intentionally no
+//! data-format machinery: nothing in-tree serializes at runtime — the
+//! trace subsystem's JSON-Lines sink hand-rolls its encoding instead.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt::Display;
+
+/// A data format that can receive values ("visitor" half of serde's
+/// serialization model, reduced to the primitives the workspace uses).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can describe itself to any [`Serializer`].
+pub trait Serialize {
+    /// Feeds `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format values can be read from, reduced to the primitives the
+/// workspace's manual impls use.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Display;
+
+    /// Reads an owned string.
+    fn read_string(self) -> Result<String, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.read_string()
+    }
+}

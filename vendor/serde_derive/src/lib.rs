@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! purely as a *marker* on value types — no runtime serializer exists
+//! in-tree (there is no `serde_json`/`bincode`), and no code bounds a
+//! generic on `Serialize`/`Deserialize`. These derives therefore expand
+//! to nothing: the attribute stays valid, the types stay unchanged, and
+//! the two manual trait impls in `bcastdb-db` compile against the trait
+//! definitions in the sibling `serde` stand-in.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
