@@ -49,7 +49,7 @@ fn main() {
             assert!(report.all_terminated(), "{name}@{n} wedged transactions");
             cluster.check_serializability().expect("serializable");
             check_traced_run(&cluster, &format!("{name}@{n}"));
-            let mut m = report.metrics;
+            let m = report.metrics;
             let per_txn = report.messages as f64 / m.commits().max(1) as f64;
             table.row(&[
                 &n,

@@ -6,11 +6,24 @@
 //! vote round, the causal protocol sits near it (acks ride on traffic),
 //! and the atomic protocol is flattest (one ordered broadcast, no
 //! acknowledgements).
+//!
+//! Each row also carries the mean per-segment latency decomposition
+//! (`seg_*_ms`, reconstructed from the trace) so the growth can be
+//! attributed: the baseline's curve lives in `seg_disseminate_ms`, the
+//! reliable protocol's in `seg_votes_ms`, the atomic protocol's in
+//! `seg_order_wait_ms`. With `--trace-out <base.jsonl>` (or
+//! `BCASTDB_TRACE_OUT`) each run's full trace lands in
+//! `<base>-<protocol>-<sites>.jsonl` for `bcast-trace`.
 
-use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
+use bcastdb_bench::{
+    check_traced_run, segment_cells, segment_headers, trace_out_for, trace_out_path, Table,
+    TRACE_CAPACITY,
+};
 use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::telemetry::summarize;
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+use std::fmt::Display;
 
 fn main() {
     let cfg = WorkloadConfig {
@@ -21,35 +34,47 @@ fn main() {
         readonly_fraction: 0.0,
         ..WorkloadConfig::default()
     };
-    let mut table = Table::new(
-        "f1_latency_vs_n",
-        &[
-            "sites", "protocol", "commits", "aborts", "mean_ms", "p95_ms",
-        ],
-    );
+    let trace_out = trace_out_path();
+    let mut headers: Vec<String> = [
+        "sites", "protocol", "commits", "aborts", "mean_ms", "p95_ms",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    headers.extend(segment_headers());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("f1_latency_vs_n", &header_refs);
     for n in [3usize, 5, 7, 9, 13] {
         for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder()
+            let mut builder = Cluster::builder()
                 .sites(n)
                 .protocol(proto)
                 .trace(TRACE_CAPACITY)
-                .seed(7)
-                .build();
+                .seed(7);
+            if let Some(base) = &trace_out {
+                builder = builder.trace_jsonl(trace_out_for(base, &format!("{proto}-{n}")));
+            }
+            let mut cluster = builder.build();
             let run = WorkloadRun::new(cfg.clone(), 70 + n as u64);
             let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
             assert!(report.quiesced, "{proto}@{n} did not quiesce");
             assert!(report.all_terminated(), "{proto}@{n} wedged transactions");
             cluster.check_serializability().expect("serializable");
             check_traced_run(&cluster, &format!("{proto}@{n}"));
-            let mut m = report.metrics;
-            table.row(&[
-                &n,
-                &proto.name(),
-                &m.commits(),
-                &m.aborts(),
-                &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
-                &format!("{:.3}", m.update_latency.p95().as_millis_f64()),
-            ]);
+            let summary = summarize(cluster.txn_spans().values());
+            let m = report.metrics;
+            let name = proto.name();
+            let commits = m.commits();
+            let aborts = m.aborts();
+            let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
+            let p95 = format!("{:.3}", m.update_latency.p95().as_millis_f64());
+            let segs = segment_cells(&summary);
+            let mut cells: Vec<&dyn Display> = vec![&n, &name, &commits, &aborts, &mean, &p95];
+            cells.extend(segs.iter().map(|c| c as &dyn Display));
+            table.row(&cells);
+            if trace_out.is_some() {
+                cluster.finish_trace_jsonl().expect("trace flush");
+            }
         }
     }
     table.emit();

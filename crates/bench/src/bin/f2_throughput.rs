@@ -6,10 +6,23 @@
 //! cluster. Expected shape: throughput rises with MPL until contention
 //! (and, for the baseline, per-operation ack round trips) flattens it;
 //! the atomic protocol peaks highest, the baseline lowest.
+//!
+//! Commits are also bucketed into a per-run time series
+//! ([`bcastdb_sim::trace::TimeSeries`], 50 ms windows): the
+//! `win_commits_*` columns show how commit throughput ramps over the run
+//! and `peak_tps` is the busiest window's rate — the sustained-vs-burst
+//! distinction a single `tps` number hides.
 
 use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+use std::fmt::Display;
+
+/// Commit time-series bucket width.
+const WINDOW_MS: u64 = 50;
+/// How many leading windows get their own CSV column.
+const SHOWN_WINDOWS: usize = 4;
 
 fn main() {
     let cfg = WorkloadConfig {
@@ -20,10 +33,16 @@ fn main() {
         readonly_fraction: 0.2,
         ..WorkloadConfig::default()
     };
-    let mut table = Table::new(
-        "f2_throughput",
-        &["mpl", "protocol", "commits", "aborts", "tps", "mean_lat_ms"],
-    );
+    let mut headers: Vec<String> = ["mpl", "protocol", "commits", "aborts", "tps", "mean_lat_ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for i in 0..SHOWN_WINDOWS {
+        headers.push(format!("win_commits_{i}"));
+    }
+    headers.push("peak_tps".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("f2_throughput", &header_refs);
     for mpl in [1usize, 2, 4, 8, 16] {
         for proto in ProtocolKind::ALL {
             eprintln!("[f2] mpl={mpl} protocol={}", proto.name());
@@ -31,6 +50,7 @@ fn main() {
                 .sites(5)
                 .protocol(proto)
                 .trace(TRACE_CAPACITY)
+                .commit_window(SimDuration::from_millis(WINDOW_MS))
                 .seed(11)
                 .build();
             let run = WorkloadRun::new(cfg.clone(), 110 + mpl as u64);
@@ -45,14 +65,33 @@ fn main() {
                 .unwrap_or_else(|v| panic!("{proto}: {v}"));
             check_traced_run(&cluster, &format!("{proto}@mpl{mpl}"));
             let m = report.metrics;
-            table.row(&[
-                &mpl,
-                &proto.name(),
-                &m.commits(),
-                &m.aborts(),
-                &f2(report.throughput_tps),
-                &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
-            ]);
+            let series = m
+                .commit_series
+                .as_ref()
+                .unwrap_or_else(|| panic!("{proto}@mpl{mpl}: commit series not recorded"));
+            assert_eq!(
+                series.total(),
+                m.commits(),
+                "{proto}@mpl{mpl}: commit series must account for every commit"
+            );
+            let buckets = series.buckets();
+            let windows: Vec<String> = (0..SHOWN_WINDOWS)
+                .map(|i| buckets.get(i).copied().unwrap_or(0).to_string())
+                .collect();
+            let peak_tps = series
+                .peak()
+                .map(|(_, c)| c as f64 * 1000.0 / WINDOW_MS as f64)
+                .unwrap_or(0.0);
+            let name = proto.name();
+            let commits = m.commits();
+            let aborts = m.aborts();
+            let tps = f2(report.throughput_tps);
+            let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
+            let peak = f2(peak_tps);
+            let mut cells: Vec<&dyn Display> = vec![&mpl, &name, &commits, &aborts, &tps, &mean];
+            cells.extend(windows.iter().map(|c| c as &dyn Display));
+            cells.push(&peak);
+            table.row(&cells);
         }
     }
     table.emit();

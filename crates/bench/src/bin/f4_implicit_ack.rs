@@ -17,14 +17,18 @@
 //!
 //! Each row carries the per-phase message breakdown: the `ack` column is
 //! where the keep-alive nulls land, making the implicit-acknowledgement
-//! cost directly visible next to the latency it buys.
+//! cost directly visible next to the latency it buys. The `seg_*_ms`
+//! columns decompose the commit latency from the reconstructed spans —
+//! the implicit-acknowledgement wait is the `seg_votes_ms` share, and it
+//! shrinks as traffic densifies or the keep-alive tick tightens.
 
 use bcastdb_bench::{
-    check_traced_run, check_traced_run_allowing_pending, phase_cells, phase_headers, Table,
-    TRACE_CAPACITY,
+    check_traced_run, check_traced_run_allowing_pending, phase_cells, phase_headers, segment_cells,
+    segment_headers, Table, TRACE_CAPACITY,
 };
 use bcastdb_core::TxnSpec;
 use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::telemetry::summarize;
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
 use std::fmt::Display;
@@ -50,20 +54,27 @@ fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String, allow
     } else {
         check_traced_run(cluster, &format!("{label}@{x}"));
     }
-    let mut m = cluster.metrics();
+    let m = cluster.metrics();
     let committed = ids.iter().filter(|t| cluster.is_committed(**t)).count();
     let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
     let p95 = format!("{:.3}", m.update_latency.p95().as_millis_f64());
     let phases = phase_cells(&cluster.phase_counts());
+    let segs = segment_cells(&summarize(cluster.txn_spans().values()));
     let mut cells: Vec<&dyn Display> = vec![&label, &x, &committed, &mean, &p95];
     cells.extend(phases.iter().map(|c| c as &dyn Display));
+    cells.extend(segs.iter().map(|c| c as &dyn Display));
     table.row(&cells);
 }
 
 fn main() {
-    let mut headers = vec!["series", "x", "probe_commits", "mean_ms", "p95_ms"];
-    headers.extend(phase_headers());
-    let mut table = Table::new("f4_implicit_ack", &headers);
+    let mut headers: Vec<String> = ["series", "x", "probe_commits", "mean_ms", "p95_ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    headers.extend(phase_headers().iter().map(|s| s.to_string()));
+    headers.extend(segment_headers());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("f4_implicit_ack", &header_refs);
 
     // Sweep 1: background traffic density, nulls OFF.
     for gap_ms in [2u64, 5, 10, 20, 50] {

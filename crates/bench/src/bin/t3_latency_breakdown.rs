@@ -1,0 +1,114 @@
+//! **T3 — Where does commit latency go, per protocol.**
+//!
+//! Reconstructs per-transaction spans from the trace of a fixed workload
+//! and decomposes every committed update's latency into the five segments
+//! (read / disseminate / order_wait / votes / decide), per protocol. This
+//! is the per-phase story behind figure F1: the point-to-point baseline's
+//! time sits in `disseminate` (per-operation ack round trips), the
+//! reliable protocol's in the vote round, the causal protocol's in the
+//! implicit-acknowledgement wait, and the atomic protocol's in the
+//! ordering wait.
+//!
+//! The decomposition is exact: for every committed update transaction the
+//! five segments sum to the end-to-end latency in `Metrics`, to the
+//! microsecond (asserted here on every run, and by the tier-1 test
+//! `tests/span_decomposition.rs`).
+//!
+//! With `--trace-out <base.jsonl>` (or `BCASTDB_TRACE_OUT`), each
+//! protocol's full trace is written to `<base>-<protocol>.jsonl` for
+//! `bcast-trace` to consume.
+
+use bcastdb_bench::{
+    check_traced_run, f2, segment_cells, segment_headers, trace_out_for, trace_out_path, Table,
+    TRACE_CAPACITY,
+};
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::telemetry::summarize;
+use bcastdb_sim::SimDuration;
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+use std::fmt::Display;
+
+fn main() {
+    let cfg = WorkloadConfig {
+        n_keys: 1000,
+        theta: 0.6,
+        reads_per_txn: 2,
+        writes_per_txn: 2,
+        readonly_fraction: 0.0,
+        ..WorkloadConfig::default()
+    };
+    let trace_out = trace_out_path();
+    let mut headers: Vec<String> = ["protocol", "commits"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    headers.extend(segment_headers());
+    headers.extend(
+        ["mean_ms", "p95_ms", "dominant"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("t3_latency_breakdown", &header_refs);
+
+    for proto in ProtocolKind::ALL {
+        let mut builder = Cluster::builder()
+            .sites(5)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .seed(23);
+        if let Some(base) = &trace_out {
+            builder = builder.trace_jsonl(trace_out_for(base, proto.name()));
+        }
+        let mut cluster = builder.build();
+        let run = WorkloadRun::new(cfg.clone(), 230);
+        let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(15));
+        assert!(report.quiesced, "{proto} did not quiesce");
+        assert!(report.all_terminated(), "{proto} wedged transactions");
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, proto.name());
+
+        let spans = cluster.txn_spans();
+        let summary = summarize(spans.values());
+
+        // The whole point of the decomposition: per transaction, the five
+        // segments sum exactly to the latency the metrics layer recorded.
+        let mut span_totals: Vec<u64> = spans
+            .values()
+            .filter(|s| !s.read_only)
+            .filter_map(|s| s.decompose())
+            .map(|b| b.total().as_micros())
+            .collect();
+        let mut recorded: Vec<u64> = report.metrics.update_latency.samples().to_vec();
+        span_totals.sort_unstable();
+        recorded.sort_unstable();
+        assert_eq!(
+            span_totals, recorded,
+            "{proto}: segment sums must equal recorded end-to-end latencies"
+        );
+
+        // Dominant segment of the mean breakdown (largest mean segment).
+        let dominant = bcastdb_sim::telemetry::Segment::ALL
+            .iter()
+            .max_by_key(|s| summary.segment(**s).mean().as_micros())
+            .expect("nonempty");
+        let name = proto.name();
+        let commits = summary.count();
+        let segs = segment_cells(&summary);
+        let mean = f2(summary.end_to_end.mean().as_millis_f64());
+        let p95 = f2(summary.end_to_end.p95().as_millis_f64());
+        let dom = dominant.name();
+        let mut cells: Vec<&dyn Display> = vec![&name, &commits];
+        cells.extend(segs.iter().map(|c| c as &dyn Display));
+        cells.push(&mean);
+        cells.push(&p95);
+        cells.push(&dom);
+        table.row(&cells);
+
+        if trace_out.is_some() {
+            let lines = cluster.finish_trace_jsonl().expect("trace flush");
+            eprintln!("[t3] {}: {} trace events written", proto.name(), lines);
+        }
+    }
+    table.emit();
+}

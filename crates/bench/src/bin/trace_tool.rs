@@ -1,0 +1,170 @@
+//! `bcast-trace` — offline analysis of bcastdb trace JSONL files.
+//!
+//! Reads a trace produced with `--trace-out` (or
+//! `ClusterBuilder::trace_jsonl`) and reconstructs per-transaction spans:
+//!
+//! ```text
+//! bcast-trace summary  <trace.jsonl>             per-segment latency breakdown
+//! bcast-trace timeline <origin:num> <trace.jsonl> one transaction across sites
+//! bcast-trace slowest  [-n K] <trace.jsonl>      critical path of the K slowest commits
+//! bcast-trace check    <trace.jsonl>             offline trace invariant run
+//! ```
+//!
+//! Exit status is nonzero on parse errors, invariant violations, or an
+//! unknown transaction.
+
+use bcastdb_sim::telemetry::{
+    check_trace, render_summary, render_timeline, slowest, summarize, SpanBuilder, TraceEvent,
+    TxnRef,
+};
+use bcastdb_sim::SiteId;
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  bcast-trace summary  <trace.jsonl>
+  bcast-trace timeline <origin:num> <trace.jsonl>
+  bcast-trace slowest  [-n K] <trace.jsonl>
+  bcast-trace check    <trace.jsonl>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bcast-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "summary" => {
+            let path = one_operand(&args[1..])?;
+            let events = load(path)?;
+            let spans = build_spans(&events);
+            let summary = summarize(spans.spans().values());
+            if summary.count() == 0 {
+                println!("no committed update transactions in {path}");
+            } else {
+                print!("{}", render_summary(&summary));
+            }
+            Ok(())
+        }
+        "timeline" => {
+            let [txn, path] = two_operands(&args[1..])?;
+            let txn = parse_txn(txn)?;
+            let events = load(path)?;
+            let spans = build_spans(&events);
+            let span = spans.get(txn).ok_or_else(|| {
+                format!("no events for txn {}:{} in {path}", txn.origin.0, txn.num)
+            })?;
+            print!("{}", render_timeline(span));
+            Ok(())
+        }
+        "slowest" => {
+            let (k, path) = parse_slowest(&args[1..])?;
+            let events = load(path)?;
+            let spans = build_spans(&events);
+            let top = slowest(spans.spans().values(), k);
+            if top.is_empty() {
+                println!("no committed update transactions in {path}");
+                return Ok(());
+            }
+            println!(
+                "{:<10} {:>12} {:>14}  breakdown",
+                "txn", "latency", "dominant"
+            );
+            for p in &top {
+                let parts: Vec<String> = bcastdb_sim::telemetry::Segment::ALL
+                    .iter()
+                    .filter(|s| !p.breakdown.get(**s).is_zero())
+                    .map(|s| format!("{}={}", s.name(), p.breakdown.get(*s)))
+                    .collect();
+                println!(
+                    "{:<10} {:>12} {:>14}  {}",
+                    format!("{}:{}", p.span.txn.origin.0, p.span.txn.num),
+                    p.latency.to_string(),
+                    p.dominant.name(),
+                    parts.join(" ")
+                );
+            }
+            Ok(())
+        }
+        "check" => {
+            let path = one_operand(&args[1..])?;
+            let events = load(path)?;
+            check_trace(&events).map_err(|v| format!("invariant violated: {v}"))?;
+            println!("{}: {} events, invariants hold", path, events.len());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+fn one_operand(args: &[String]) -> Result<&String, String> {
+    match args {
+        [path] => Ok(path),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn two_operands(args: &[String]) -> Result<[&String; 2], String> {
+    match args {
+        [a, b] => Ok([a, b]),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn parse_slowest(args: &[String]) -> Result<(usize, &String), String> {
+    match args {
+        [path] => Ok((5, path)),
+        [flag, k, path] if flag == "-n" => {
+            let k: usize = k.parse().map_err(|_| format!("bad count '{k}'"))?;
+            Ok((k, path))
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn parse_txn(s: &str) -> Result<TxnRef, String> {
+    let (origin, num) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad transaction id '{s}' (expected origin:num, e.g. 0:3)"))?;
+    let origin: usize = origin
+        .parse()
+        .map_err(|_| format!("bad origin site '{origin}'"))?;
+    let num: u64 = num
+        .parse()
+        .map_err(|_| format!("bad transaction number '{num}'"))?;
+    Ok(TxnRef {
+        origin: SiteId(origin),
+        num,
+    })
+}
+
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = TraceEvent::from_jsonl(line)
+            .map_err(|e| format!("{path}:{}: bad trace line: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+fn build_spans(events: &[TraceEvent]) -> SpanBuilder {
+    let mut spans = SpanBuilder::new();
+    for ev in events {
+        spans.ingest(ev);
+    }
+    spans
+}

@@ -46,10 +46,10 @@
 #![warn(missing_docs)]
 
 use bcastdb_core::Cluster;
-use bcastdb_sim::telemetry::{Phase, PhaseCounts};
+use bcastdb_sim::telemetry::{Phase, PhaseCounts, Segment, SegmentSummary};
 use std::fmt::Display;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Ring-buffer capacity the experiment binaries pass to
 /// [`bcastdb_core::ClusterBuilder::trace`]. Only the retained tail is
@@ -65,6 +65,63 @@ pub fn phase_headers() -> Vec<&'static str> {
 /// The per-phase message tallies as table cells, in [`Phase::ALL`] order.
 pub fn phase_cells(pc: &PhaseCounts) -> Vec<String> {
     Phase::ALL.iter().map(|p| pc.get(*p).to_string()).collect()
+}
+
+/// Per-segment latency column headers (`seg_<name>_ms`, mean milliseconds),
+/// in [`Segment::ALL`] order — the same order [`segment_cells`] emits.
+pub fn segment_headers() -> Vec<String> {
+    Segment::ALL
+        .iter()
+        .map(|s| format!("seg_{}_ms", s.name()))
+        .collect()
+}
+
+/// The mean per-segment latencies of a [`SegmentSummary`] as table cells
+/// (milliseconds, two decimals), in [`Segment::ALL`] order. The cells sum
+/// to the mean end-to-end commit latency up to integer-microsecond
+/// truncation.
+pub fn segment_cells(summary: &SegmentSummary) -> Vec<String> {
+    Segment::ALL
+        .iter()
+        .map(|s| f2(summary.segment(*s).mean().as_millis_f64()))
+        .collect()
+}
+
+/// The `--trace-out <path>` flag shared by the experiment binaries: dumps
+/// the full JSONL trace of each run for `bcast-trace` to consume. Reads the
+/// process arguments first and falls back to the `BCASTDB_TRACE_OUT`
+/// environment variable; returns `None` when neither is present.
+///
+/// Binaries that run several clusters derive one file per run from this
+/// base path via [`trace_out_for`].
+///
+/// # Panics
+/// Panics if `--trace-out` is passed without a following path.
+pub fn trace_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
+            return Some(PathBuf::from(path));
+        }
+        if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os("BCASTDB_TRACE_OUT").map(PathBuf::from)
+}
+
+/// Derives the per-run trace file for `label` from the `--trace-out` base
+/// path: `traces.jsonl` + `atomic` → `traces-atomic.jsonl`. Experiments
+/// that run one cluster per protocol/parameter must keep the runs in
+/// separate files — transaction numbers restart per run, so concatenated
+/// traces would trip `bcast-trace check`.
+pub fn trace_out_for(base: &Path, label: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|e| e.to_str()).unwrap_or("jsonl");
+    base.with_file_name(format!("{stem}-{label}.{ext}"))
 }
 
 /// Validates a traced experiment run: the trace invariant checker accepts
@@ -227,5 +284,27 @@ mod tests {
     fn f2_formats_two_decimals() {
         assert_eq!(f2(1.005), "1.00");
         assert_eq!(f2(2.5), "2.50");
+    }
+
+    #[test]
+    fn trace_out_for_labels_per_run() {
+        assert_eq!(
+            trace_out_for(Path::new("/tmp/traces.jsonl"), "atomic"),
+            Path::new("/tmp/traces-atomic.jsonl")
+        );
+        assert_eq!(
+            trace_out_for(Path::new("out"), "p2p"),
+            Path::new("out-p2p.jsonl")
+        );
+    }
+
+    #[test]
+    fn segment_columns_match_segments() {
+        let headers = segment_headers();
+        assert_eq!(headers.len(), Segment::ALL.len());
+        assert_eq!(headers[0], "seg_read_ms");
+        let cells = segment_cells(&SegmentSummary::new());
+        assert_eq!(cells.len(), headers.len());
+        assert!(cells.iter().all(|c| c == "0.00"));
     }
 }

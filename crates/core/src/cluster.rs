@@ -9,10 +9,15 @@ use crate::state::ConflictPolicy;
 use bcastdb_db::sg::SgViolation;
 use bcastdb_db::{HistoryRecorder, Key, TxnId, TxnSpec, Value};
 use bcastdb_sim::telemetry::{
-    PhaseCounts, RingSink, TraceEvent, TraceInvariants, TraceSink, TraceViolation, Tracer,
+    JsonlSink, PhaseCounts, RingSink, SpanBuilder, TraceEvent, TraceInvariants, TraceSink,
+    TraceViolation, Tracer, TxnRef, TxnSpan,
 };
 use bcastdb_sim::{NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 /// The fate of a submitted transaction, as known at its origin site.
@@ -67,6 +72,14 @@ pub struct ClusterConfig {
     /// events in a ring buffer and feeds every event through the streaming
     /// invariant checker; `None` (default) disables tracing entirely.
     pub trace_capacity: Option<usize>,
+    /// Stream every trace event to this JSONL file (for offline analysis
+    /// with `bcast-trace`). Implies tracing even when `trace_capacity` is
+    /// `None` (the ring then keeps nothing, but spans and the invariant
+    /// checker still see every event).
+    pub trace_jsonl: Option<PathBuf>,
+    /// Bucket width for per-window commit counting
+    /// ([`Metrics::commit_series`]); `None` (default) disables the series.
+    pub commit_window: Option<SimDuration>,
 }
 
 impl Default for ClusterConfig {
@@ -87,6 +100,8 @@ impl Default for ClusterConfig {
             think_time: SimDuration::ZERO,
             placement: Placement::Full,
             trace_capacity: None,
+            trace_jsonl: None,
+            commit_window: None,
         }
     }
 }
@@ -191,6 +206,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Streams every trace event to a JSONL file as the run executes (and
+    /// enables tracing if [`ClusterBuilder::trace`] was not called). Call
+    /// [`Cluster::finish_trace_jsonl`] at the end of the run to flush it.
+    pub fn trace_jsonl(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.trace_jsonl = Some(path.into());
+        self
+    }
+
+    /// Enables per-window commit counting with the given bucket width; the
+    /// merged series is available via [`Metrics::commit_series`] on
+    /// [`Cluster::metrics`].
+    pub fn commit_window(mut self, window: SimDuration) -> Self {
+        self.cfg.commit_window = Some(window);
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -201,18 +232,25 @@ impl ClusterBuilder {
 }
 
 /// The cluster's composite trace sink: a bounded ring buffer for
-/// inspection plus the streaming invariant checker, which sees every event
-/// (its memory is bounded by links and transactions, not events, so it
-/// survives arbitrarily long runs that overflow the ring).
+/// inspection, the streaming invariant checker, the per-transaction span
+/// builder, and (optionally) a JSONL file stream. All but the ring are
+/// bounded by links/transactions rather than events, so they survive
+/// arbitrarily long runs that overflow the ring.
 struct ClusterSink {
     ring: RingSink,
     inv: TraceInvariants,
+    spans: SpanBuilder,
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
 }
 
 impl TraceSink for ClusterSink {
     fn record(&mut self, ev: &TraceEvent) {
         self.ring.record(ev);
         self.inv.ingest(ev);
+        self.spans.ingest(ev);
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.record(ev);
+        }
     }
 }
 
@@ -234,7 +272,8 @@ impl Cluster {
     /// Creates a cluster from an explicit configuration.
     ///
     /// # Panics
-    /// Panics if `cfg.sites == 0`.
+    /// Panics if `cfg.sites == 0`, or if `cfg.trace_jsonl` names a file
+    /// that cannot be created.
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(cfg.sites > 0, "a cluster needs at least one site");
         let node_cfg = NodeConfig {
@@ -254,10 +293,26 @@ impl Cluster {
             .map(|i| ReplicaNode::new(SiteId(i), cfg.sites, node_cfg.clone()))
             .collect();
         let mut sim = Simulation::new(cfg.seed, cfg.net.clone(), nodes);
-        let trace = cfg.trace_capacity.map(|capacity| {
+        if let Some(window) = cfg.commit_window {
+            for i in 0..cfg.sites {
+                sim.node_mut(SiteId(i))
+                    .state_mut()
+                    .metrics
+                    .enable_commit_series(window);
+            }
+        }
+        let want_trace = cfg.trace_capacity.is_some() || cfg.trace_jsonl.is_some();
+        let trace = want_trace.then(|| {
+            let jsonl = cfg.trace_jsonl.as_ref().map(|path| {
+                let file = File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                JsonlSink::new(BufWriter::new(file))
+            });
             let sink = Rc::new(RefCell::new(ClusterSink {
-                ring: RingSink::new(capacity),
+                ring: RingSink::new(cfg.trace_capacity.unwrap_or(0)),
                 inv: TraceInvariants::new(),
+                spans: SpanBuilder::new(),
+                jsonl,
             }));
             let tracer = Tracer::new(sink.clone());
             for i in 0..cfg.sites {
@@ -491,6 +546,34 @@ impl Cluster {
     /// saw them).
     pub fn trace_evicted(&self) -> u64 {
         self.trace.as_ref().map_or(0, |s| s.borrow().ring.evicted())
+    }
+
+    /// Per-transaction spans reconstructed from the full trace stream so
+    /// far (every event, not just the ring's tail). Empty when tracing is
+    /// off.
+    pub fn txn_spans(&self) -> BTreeMap<TxnRef, TxnSpan> {
+        self.trace
+            .as_ref()
+            .map_or_else(BTreeMap::new, |s| s.borrow().spans.spans().clone())
+    }
+
+    /// Flushes and closes the JSONL trace stream, returning the number of
+    /// events written. Returns `Ok(0)` when no JSONL stream was configured
+    /// (or it was already finished); events traced after this call are no
+    /// longer written to the file.
+    ///
+    /// # Errors
+    /// Returns the first deferred write error, or the flush error.
+    pub fn finish_trace_jsonl(&mut self) -> std::io::Result<u64> {
+        let Some(sink) = &self.trace else {
+            return Ok(0);
+        };
+        let Some(jsonl) = sink.borrow_mut().jsonl.take() else {
+            return Ok(0);
+        };
+        let lines = jsonl.lines();
+        jsonl.into_inner()?;
+        Ok(lines)
     }
 
     /// Runs the streaming trace invariant checker over everything traced

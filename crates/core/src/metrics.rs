@@ -1,8 +1,8 @@
 //! Per-site protocol metrics.
 
 use bcastdb_sim::telemetry::{Phase, PhaseCounts};
-use bcastdb_sim::trace::{Counters, LatencyStats};
-use bcastdb_sim::SimDuration;
+use bcastdb_sim::trace::{Counters, LatencyStats, TimeSeries};
+use bcastdb_sim::{SimDuration, SimTime};
 use std::fmt;
 
 /// Why a transaction aborted.
@@ -57,6 +57,10 @@ pub struct Metrics {
     pub update_latency: LatencyStats,
     /// Commit latency of read-only transactions originated here.
     pub readonly_latency: LatencyStats,
+    /// Commits originated here bucketed by virtual-time window
+    /// (throughput-over-time). `None` until enabled via
+    /// [`Metrics::enable_commit_series`].
+    pub commit_series: Option<TimeSeries>,
 }
 
 impl Metrics {
@@ -65,16 +69,30 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records a committed update transaction with its latency.
-    pub fn commit_update(&mut self, latency: SimDuration) {
-        self.counters.incr("commits_update");
-        self.update_latency.record(latency);
+    /// Turns on per-window commit counting with the given bucket width.
+    /// Commits are bucketed by the virtual time the origin learned them.
+    pub fn enable_commit_series(&mut self, window: SimDuration) {
+        self.commit_series = Some(TimeSeries::new(window));
     }
 
-    /// Records a committed read-only transaction with its latency.
-    pub fn commit_readonly(&mut self, latency: SimDuration) {
+    /// Records a committed update transaction with its latency, committed
+    /// (at the origin) at virtual time `at`.
+    pub fn commit_update(&mut self, latency: SimDuration, at: SimTime) {
+        self.counters.incr("commits_update");
+        self.update_latency.record(latency);
+        if let Some(series) = &mut self.commit_series {
+            series.record(at);
+        }
+    }
+
+    /// Records a committed read-only transaction with its latency,
+    /// committed at virtual time `at`.
+    pub fn commit_readonly(&mut self, latency: SimDuration, at: SimTime) {
         self.counters.incr("commits_readonly");
         self.readonly_latency.record(latency);
+        if let Some(series) = &mut self.commit_series {
+            series.record(at);
+        }
     }
 
     /// Records an abort with its reason.
@@ -136,6 +154,11 @@ impl Metrics {
         self.counters.merge(&other.counters);
         self.update_latency.merge(&other.update_latency);
         self.readonly_latency.merge(&other.readonly_latency);
+        match (&mut self.commit_series, &other.commit_series) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.commit_series = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -146,8 +169,8 @@ mod tests {
     #[test]
     fn commit_and_abort_counting() {
         let mut m = Metrics::new();
-        m.commit_update(SimDuration::from_millis(3));
-        m.commit_readonly(SimDuration::from_millis(1));
+        m.commit_update(SimDuration::from_millis(3), SimTime::from_micros(3000));
+        m.commit_readonly(SimDuration::from_millis(1), SimTime::from_micros(1000));
         m.abort(AbortReason::Wounded);
         m.abort(AbortReason::Certification);
         assert_eq!(m.commits(), 2);
@@ -163,11 +186,31 @@ mod tests {
     }
 
     #[test]
+    fn commit_series_buckets_commits_when_enabled() {
+        let mut m = Metrics::new();
+        m.commit_update(SimDuration::from_millis(1), SimTime::from_micros(1000));
+        assert!(m.commit_series.is_none(), "off by default");
+        m.enable_commit_series(SimDuration::from_millis(10));
+        m.commit_update(SimDuration::from_millis(1), SimTime::from_micros(5000));
+        m.commit_readonly(SimDuration::from_millis(1), SimTime::from_micros(15000));
+        let series = m.commit_series.as_ref().unwrap();
+        assert_eq!(series.buckets(), &[1, 1]);
+
+        // Cross-site merge: only enabled series combine; a disabled
+        // receiver adopts the other side's series.
+        let mut agg = Metrics::new();
+        agg.merge(&m);
+        assert_eq!(agg.commit_series.as_ref().unwrap().total(), 2);
+        agg.merge(&m);
+        assert_eq!(agg.commit_series.as_ref().unwrap().buckets(), &[2, 2]);
+    }
+
+    #[test]
     fn merge_sums_everything() {
         let mut a = Metrics::new();
         let mut b = Metrics::new();
-        a.commit_update(SimDuration::from_millis(2));
-        b.commit_update(SimDuration::from_millis(4));
+        a.commit_update(SimDuration::from_millis(2), SimTime::from_micros(2000));
+        b.commit_update(SimDuration::from_millis(4), SimTime::from_micros(4000));
         b.abort(AbortReason::Timeout);
         a.merge(&b);
         assert_eq!(a.commits(), 2);

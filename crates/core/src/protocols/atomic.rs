@@ -346,10 +346,10 @@ impl AtomicProto {
         work.extend(events.into_iter().map(Work::Event));
 
         if st.think.is_zero() {
-            self.emit_write_step(st, fx, id, usize::MAX, work);
+            self.emit_write_step(st, fx, now, id, usize::MAX, work);
         } else {
             self.writing.insert(id, 0);
-            self.emit_write_step(st, fx, id, 1, work);
+            self.emit_write_step(st, fx, now, id, 1, work);
             if self.writing.contains_key(&id) {
                 fx.write_pauses.push(id);
             }
@@ -369,7 +369,7 @@ impl AtomicProto {
             return;
         }
         let mut work = VecDeque::new();
-        self.emit_write_step(st, fx, id, 1, &mut work);
+        self.emit_write_step(st, fx, now, id, 1, &mut work);
         if self.writing.contains_key(&id) {
             fx.write_pauses.push(id);
         }
@@ -382,6 +382,7 @@ impl AtomicProto {
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
+        now: SimTime,
         id: TxnId,
         budget: usize,
         work: &mut VecDeque<Work>,
@@ -412,6 +413,7 @@ impl AtomicProto {
                 .iter()
                 .map(|w| (w.key.clone(), self.latest_writer.get(&w.key).copied()))
                 .collect();
+            st.trace_commit_req_out(id, now);
             self.abcast(
                 fx,
                 Payload::CommitReq {

@@ -431,6 +431,7 @@ impl CausalProto {
         };
         let prio = local.prio;
         let n_writes = local.spec.writes().len();
+        st.trace_commit_req_out(id, now);
         self.bcast(
             fx,
             Payload::CommitReq {
@@ -727,13 +728,20 @@ impl CausalProto {
         });
         let mut events = Vec::new();
         if loses {
+            st.trace_decided(txn, false, now);
             st.apply_remote_abort(txn, AbortReason::ConcurrentConflict, now, &mut events);
-        } else if st.remote.get(&txn).expect("present").fully_prepared() {
-            st.apply_commit(txn, now, &mut events);
         } else {
-            // Decision made; application waits for the lock queue (causal
-            // order guarantees every site installs in the same order).
-            self.info.get_mut(&txn).expect("present").commit_pending = true;
+            // The implicit-acknowledgement wait ends here: the ack set is
+            // complete and the verdict is fixed, whether or not the lock
+            // queue lets us apply yet.
+            st.trace_decided(txn, true, now);
+            if st.remote.get(&txn).expect("present").fully_prepared() {
+                st.apply_commit(txn, now, &mut events);
+            } else {
+                // Application waits for the lock queue (causal order
+                // guarantees every site installs in the same order).
+                self.info.get_mut(&txn).expect("present").commit_pending = true;
+            }
         }
         work.extend(events.into_iter().map(Work::Event));
     }

@@ -202,7 +202,7 @@ impl P2pProto {
             return;
         };
         if d.current_op >= d.writes.len() {
-            self.send_commit_requests(st, fx, id, work);
+            self.send_commit_requests(st, fx, now, id, work);
             return;
         }
         let op = d.writes[d.current_op].clone();
@@ -230,13 +230,13 @@ impl P2pProto {
                 );
             }
         }
-        let _ = now;
     }
 
     fn send_commit_requests(
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
+        now: SimTime,
         id: TxnId,
         work: &mut VecDeque<Work>,
     ) {
@@ -247,6 +247,7 @@ impl P2pProto {
             return;
         }
         d.commit_sent = true;
+        st.trace_commit_req_out(id, now);
         let writes = d.writes.clone();
         for site in 0..st.n {
             let site = SiteId(site);

@@ -193,7 +193,7 @@ impl ReliableProto {
         work: &mut VecDeque<Work>,
     ) {
         match ev {
-            LocalEvent::ReadsComplete(id) => self.start_write_phase(st, fx, id, work),
+            LocalEvent::ReadsComplete(id) => self.start_write_phase(st, fx, now, id, work),
             LocalEvent::RemotePrepared(id) => self.maybe_vote(st, fx, now, id, work),
             LocalEvent::RemoteDoomed(id, _reason) => {
                 if id.origin == st.me {
@@ -217,6 +217,7 @@ impl ReliableProto {
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
+        now: SimTime,
         id: TxnId,
         work: &mut VecDeque<Work>,
     ) {
@@ -224,10 +225,10 @@ impl ReliableProto {
             return; // wounded in the meantime
         };
         if st.think.is_zero() {
-            self.emit_write_step(st, fx, id, usize::MAX, work);
+            self.emit_write_step(st, fx, now, id, usize::MAX, work);
         } else {
             self.writing.insert(id, 0);
-            self.emit_write_step(st, fx, id, 1, work);
+            self.emit_write_step(st, fx, now, id, 1, work);
             if self.writing.contains_key(&id) {
                 fx.write_pauses.push(id);
             }
@@ -247,7 +248,7 @@ impl ReliableProto {
             return;
         }
         let mut work = VecDeque::new();
-        self.emit_write_step(st, fx, id, 1, &mut work);
+        self.emit_write_step(st, fx, now, id, 1, &mut work);
         if self.writing.contains_key(&id) {
             fx.write_pauses.push(id);
         }
@@ -261,6 +262,7 @@ impl ReliableProto {
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
+        now: SimTime,
         id: TxnId,
         budget: usize,
         work: &mut VecDeque<Work>,
@@ -289,6 +291,7 @@ impl ReliableProto {
         }
         if end >= n_writes {
             self.writing.remove(&id);
+            st.trace_commit_req_out(id, now);
             self.bcast(
                 fx,
                 Payload::CommitReq {

@@ -260,6 +260,32 @@ impl SiteState {
         });
     }
 
+    /// Records the origin handing a transaction's commit request (the final
+    /// leg of its write dissemination) to the network — the boundary between
+    /// the `disseminate` and `order_wait` latency segments. Each protocol
+    /// calls this exactly once per update transaction, at its single
+    /// commit-request broadcast site.
+    pub fn trace_commit_req_out(&self, id: TxnId, now: SimTime) {
+        self.tracer.emit(|| TraceEvent::CommitReqOut {
+            at: now,
+            txn: txn_ref(id),
+        });
+    }
+
+    /// Records this site fixing a transaction's outcome separately from
+    /// applying it (the causal protocol's decision point: its implicit
+    /// acknowledgement set just completed, whether or not the lock queue
+    /// lets the commit apply yet).
+    pub fn trace_decided(&self, id: TxnId, commit: bool, now: SimTime) {
+        let me = self.me;
+        self.tracer.emit(|| TraceEvent::Decided {
+            at: now,
+            site: me,
+            txn: txn_ref(id),
+            commit,
+        });
+    }
+
     /// True iff this site knows of any transaction that has not terminated.
     pub fn has_undecided(&self) -> bool {
         !self.local.is_empty() || self.remote.keys().any(|t| !self.decided.contains_key(t))
@@ -374,7 +400,7 @@ impl SiteState {
     fn commit_read_only(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
         let txn = self.local.remove(&id).expect("present");
         let latency = now.saturating_since(txn.submitted);
-        self.metrics.commit_readonly(latency);
+        self.metrics.commit_readonly(latency, now);
         let me = self.me;
         self.tracer.emit(|| TraceEvent::Commit {
             at: now,
@@ -763,7 +789,7 @@ impl SiteState {
         // Origin side: latency + read observations for the checker.
         if let Some(local) = self.local.remove(&id) {
             let latency = now.saturating_since(local.submitted);
-            self.metrics.commit_update(latency);
+            self.metrics.commit_update(latency, now);
             self.terminations.push(TerminationRecord {
                 txn: id,
                 committed: true,

@@ -17,7 +17,9 @@
 //!   event loop to quiescence or a deadline,
 //! - [`trace`] — counters and histograms used by the experiment harness,
 //! - [`telemetry`] — structured trace events with per-phase message
-//!   accounting, pluggable sinks, and an offline invariant checker.
+//!   accounting, pluggable sinks, and an offline invariant checker,
+//! - [`spans`] / [`analyze`] — per-transaction span reconstruction and
+//!   commit-latency decomposition over the trace stream.
 //!
 //! # Example
 //!
@@ -49,10 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod event;
 mod net;
 mod rng;
 mod simulation;
+pub mod spans;
 pub mod telemetry;
 mod time;
 pub mod trace;

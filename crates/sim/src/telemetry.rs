@@ -39,6 +39,11 @@
 //! Tracer::disabled().emit(|| unreachable!());
 //! ```
 
+pub use crate::analyze::{
+    render_summary, render_timeline, slowest, summarize, CriticalPath, SegmentSummary,
+};
+pub use crate::spans::{Segment, SegmentBreakdown, SpanBuilder, SpanOutcome, TxnSpan, VoteRecord};
+
 use crate::{SimTime, SiteId};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -251,6 +256,15 @@ pub enum TraceEvent {
         /// The transaction.
         txn: TxnRef,
     },
+    /// The origin handed the transaction's commit request — the final leg
+    /// of its write dissemination — to the network. Marks the boundary
+    /// between the dissemination segment and the ordering/vote wait.
+    CommitReqOut {
+        /// Virtual time the commit request was sent.
+        at: SimTime,
+        /// The transaction (emitted at its origin only).
+        txn: TxnRef,
+    },
     /// A site fixed its verdict on a transaction: an explicit 2PC vote,
     /// a causal NACK (`yes = false`), or a certification outcome.
     Vote {
@@ -262,6 +276,21 @@ pub enum TraceEvent {
         txn: TxnRef,
         /// `true` = ready to commit.
         yes: bool,
+    },
+    /// A site fixed a transaction's outcome separately from applying it —
+    /// the causal protocol's decision point, reached when its implicit
+    /// acknowledgement set completes (the commit may still queue for
+    /// locks). Protocols whose decision *is* the application emit only
+    /// [`TraceEvent::Commit`] / [`TraceEvent::Abort`].
+    Decided {
+        /// Virtual time the outcome became known at this site.
+        at: SimTime,
+        /// The deciding site.
+        site: SiteId,
+        /// The decided transaction.
+        txn: TxnRef,
+        /// `true` = will commit.
+        commit: bool,
     },
     /// A site applied the transaction's commit.
     Commit {
@@ -322,7 +351,9 @@ impl TraceEvent {
             | TraceEvent::Drop { at, .. }
             | TraceEvent::Submit { at, .. }
             | TraceEvent::LocksAcquired { at, .. }
+            | TraceEvent::CommitReqOut { at, .. }
             | TraceEvent::Vote { at, .. }
+            | TraceEvent::Decided { at, .. }
             | TraceEvent::Commit { at, .. }
             | TraceEvent::Abort { at, .. }
             | TraceEvent::TotalOrder { at, .. }
@@ -377,6 +408,26 @@ impl TraceEvent {
                 at.as_micros(),
                 txn.origin.0,
                 txn.num
+            ),
+            TraceEvent::CommitReqOut { at, txn } => format!(
+                "{{\"ev\":\"commit_req\",\"at\":{},\"origin\":{},\"num\":{}}}",
+                at.as_micros(),
+                txn.origin.0,
+                txn.num
+            ),
+            TraceEvent::Decided {
+                at,
+                site,
+                txn,
+                commit,
+            } => format!(
+                "{{\"ev\":\"decided\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{},\
+                 \"commit\":{}}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num,
+                commit
             ),
             TraceEvent::Vote { at, site, txn, yes } => format!(
                 "{{\"ev\":\"vote\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{},\"yes\":{}}}",
@@ -500,6 +551,13 @@ impl TraceEvent {
                 read_only: boolean("ro")?,
             }),
             "locks" => Ok(TraceEvent::LocksAcquired { at, txn: txn()? }),
+            "commit_req" => Ok(TraceEvent::CommitReqOut { at, txn: txn()? }),
+            "decided" => Ok(TraceEvent::Decided {
+                at,
+                site: site("site")?,
+                txn: txn()?,
+                commit: boolean("commit")?,
+            }),
             "vote" => Ok(TraceEvent::Vote {
                 at,
                 site: site("site")?,
@@ -1021,7 +1079,10 @@ impl TraceInvariants {
             TraceEvent::Submit { txn, .. } => {
                 self.txns.entry(*txn).or_default().submitted = true;
             }
-            TraceEvent::LocksAcquired { .. } | TraceEvent::Vote { .. } => {}
+            TraceEvent::LocksAcquired { .. }
+            | TraceEvent::CommitReqOut { .. }
+            | TraceEvent::Vote { .. }
+            | TraceEvent::Decided { .. } => {}
             TraceEvent::Commit { site, txn, .. } => {
                 if *site == txn.origin {
                     self.txns.entry(*txn).or_default().terminations += 1;
@@ -1162,6 +1223,10 @@ mod tests {
                 at: t(2),
                 txn: txn(0, 1),
             },
+            TraceEvent::CommitReqOut {
+                at: t(2),
+                txn: txn(0, 1),
+            },
             TraceEvent::Send {
                 at: t(3),
                 from: SiteId(0),
@@ -1185,6 +1250,12 @@ mod tests {
                 site: SiteId(0),
                 txn: txn(0, 1),
                 gseq: 1,
+            },
+            TraceEvent::Decided {
+                at: t(6),
+                site: SiteId(1),
+                txn: txn(0, 1),
+                commit: true,
             },
             TraceEvent::Commit {
                 at: t(7),

@@ -2,6 +2,7 @@
 //! experiment harness to regenerate the paper's tables and figures.
 
 use crate::SimDuration;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -9,10 +10,15 @@ use std::fmt;
 ///
 /// Used for commit latencies: each committed transaction contributes one
 /// sample, and the harness reports mean / p50 / p95 / p99 / max per series.
+///
+/// Quantiles take `&self`: the sorted view is computed lazily into an
+/// interior cache and invalidated on [`LatencyStats::record`] /
+/// [`LatencyStats::merge`], so `Display` and percentile reads never need
+/// mutable access or a clone.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<u64>,
-    sorted: bool,
+    sorted: RefCell<Option<Vec<u64>>>,
 }
 
 impl LatencyStats {
@@ -24,7 +30,7 @@ impl LatencyStats {
     /// Records one sample.
     pub fn record(&mut self, d: SimDuration) {
         self.samples.push(d.as_micros());
-        self.sorted = false;
+        self.sorted.get_mut().take();
     }
 
     /// Number of samples recorded.
@@ -37,6 +43,11 @@ impl LatencyStats {
         self.samples.is_empty()
     }
 
+    /// The raw samples, in recording order, in microseconds.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// Arithmetic mean, or zero when empty.
     pub fn mean(&self) -> SimDuration {
         if self.samples.is_empty() {
@@ -47,31 +58,33 @@ impl LatencyStats {
     }
 
     /// The `q`-quantile (0.0..=1.0) by nearest-rank, or zero when empty.
-    pub fn quantile(&mut self, q: f64) -> SimDuration {
+    pub fn quantile(&self, q: f64) -> SimDuration {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        });
         let q = q.clamp(0.0, 1.0);
-        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        SimDuration::from_micros(self.samples[idx])
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_micros(sorted[idx])
     }
 
     /// Median.
-    pub fn p50(&mut self) -> SimDuration {
+    pub fn p50(&self) -> SimDuration {
         self.quantile(0.50)
     }
 
     /// 95th percentile.
-    pub fn p95(&mut self) -> SimDuration {
+    pub fn p95(&self) -> SimDuration {
         self.quantile(0.95)
     }
 
     /// 99th percentile.
-    pub fn p99(&mut self) -> SimDuration {
+    pub fn p99(&self) -> SimDuration {
         self.quantile(0.99)
     }
 
@@ -83,21 +96,20 @@ impl LatencyStats {
     /// Merges another collection into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.sorted.get_mut().take();
     }
 }
 
 impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut me = self.clone();
         write!(
             f,
             "n={} mean={} p50={} p95={} max={}",
-            me.count(),
-            me.mean(),
-            me.p50(),
-            me.p95(),
-            me.max()
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.max()
         )
     }
 }
@@ -164,6 +176,23 @@ impl TimeSeries {
             0.0
         } else {
             self.total() as f64 / self.buckets.len() as f64
+        }
+    }
+
+    /// Merges another series into this one, summing per-window counts.
+    ///
+    /// # Panics
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge time series with different windows"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
         }
     }
 }
@@ -245,11 +274,26 @@ mod tests {
 
     #[test]
     fn empty_stats_are_zero() {
-        let mut s = LatencyStats::new();
+        let s = LatencyStats::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), SimDuration::ZERO);
         assert_eq!(s.p99(), SimDuration::ZERO);
         assert_eq!(s.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_track_mutation_through_the_cache() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_micros(10));
+        assert_eq!(s.p50().as_micros(), 10); // populates the sorted cache
+        s.record(SimDuration::from_micros(2));
+        assert_eq!(s.quantile(0.0).as_micros(), 2, "record invalidates cache");
+        let mut other = LatencyStats::new();
+        other.record(SimDuration::from_micros(1));
+        assert_eq!(s.p50().as_micros(), 10); // repopulate before the merge
+        s.merge(&other);
+        assert_eq!(s.quantile(0.0).as_micros(), 1, "merge invalidates cache");
+        assert_eq!(s.samples(), &[10, 2, 1], "samples stay in record order");
     }
 
     #[test]
@@ -311,6 +355,26 @@ mod tests {
     #[should_panic(expected = "nonzero window")]
     fn time_series_rejects_zero_window() {
         let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_series_merge_sums_windows() {
+        let mut a = TimeSeries::new(SimDuration::from_millis(10));
+        let mut b = TimeSeries::new(SimDuration::from_millis(10));
+        a.record(crate::SimTime::from_micros(500));
+        b.record(crate::SimTime::from_micros(600));
+        b.record(crate::SimTime::from_micros(25_000));
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[2, 0, 1]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn time_series_merge_rejects_window_mismatch() {
+        let mut a = TimeSeries::new(SimDuration::from_millis(10));
+        let b = TimeSeries::new(SimDuration::from_millis(20));
+        a.merge(&b);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
         cluster
             .check_serializability()
             .unwrap_or_else(|v| panic!("{proto}: {v}"));
-        let mut m = report.metrics;
+        let m = report.metrics;
         println!(
             "{:<10} {:>8} {:>8} {:>12} {:>12}",
             proto.name(),
