@@ -100,6 +100,31 @@ fn run(args: &[String]) -> Result<(), String> {
             let events = load(path)?;
             check_trace(&events).map_err(|v| format!("invariant violated: {v}"))?;
             println!("{}: {} events, invariants hold", path, events.len());
+            // Non-monotonic milestone report: the span decomposition
+            // clamps out-of-order milestones to keep its telescoping sum
+            // exact; surface which spans needed that rather than hiding
+            // the reordering.
+            let spans = build_spans(&events);
+            let noisy: Vec<String> = spans
+                .spans()
+                .iter()
+                .filter_map(|(txn, span)| {
+                    let b = span.decompose()?;
+                    (b.clamped > 0)
+                        .then(|| format!("{}:{} ({} milestones)", txn.origin.0, txn.num, b.clamped))
+                })
+                .collect();
+            if noisy.is_empty() {
+                println!("all committed spans have monotonic milestones");
+            } else {
+                println!(
+                    "{} span(s) with non-monotonic milestones (clamped in decomposition):",
+                    noisy.len()
+                );
+                for line in &noisy {
+                    println!("  {line}");
+                }
+            }
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),

@@ -92,6 +92,15 @@ pub enum SeqWire<P> {
     },
 }
 
+impl<P: crate::batch::WireSize> crate::batch::WireSize for SeqWire<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            SeqWire::Submit { id, payload } => id.wire_size() + payload.wire_size(),
+            SeqWire::Ordered { id, payload, .. } => 8 + id.wire_size() + payload.wire_size(),
+        }
+    }
+}
+
 /// Fixed-sequencer atomic broadcast.
 #[derive(Debug)]
 pub struct SequencerAbcast<P> {
@@ -269,6 +278,16 @@ pub enum IsisWire<P> {
         /// The agreed (maximum) priority.
         prio: Priority,
     },
+}
+
+impl<P: crate::batch::WireSize> crate::batch::WireSize for IsisWire<P> {
+    fn wire_size(&self) -> usize {
+        match self {
+            IsisWire::Data { id, payload } => id.wire_size() + payload.wire_size(),
+            // A priority is (u64, SiteId): 16 bytes.
+            IsisWire::Propose { id, .. } | IsisWire::Final { id, .. } => id.wire_size() + 16,
+        }
+    }
 }
 
 #[derive(Debug)]

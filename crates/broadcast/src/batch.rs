@@ -1,0 +1,233 @@
+//! Message batching and piggybacking for the broadcast layer.
+//!
+//! The paper's protocols cut the *number* of messages a transaction needs,
+//! but every remaining message still pays a full wire transmission. Under a
+//! finite-bandwidth link model that per-message cost dominates long before
+//! the protocol logic saturates — the classic remedy in group communication
+//! systems (ISIS-style message packing) is to coalesce outgoing messages
+//! per destination and let acknowledgement-shaped traffic ride along with
+//! whatever is leaving anyway.
+//!
+//! [`Batcher`] is that mechanism, kept sans-IO like the broadcast engines:
+//! the embedding node pushes wire messages tagged with their destination,
+//! and the batcher hands back full batches when a size cap would overflow
+//! or when the node's flush window expires ([`Batcher::flush_all`]). The
+//! batcher never reorders: messages to one destination leave in push order,
+//! so per-link FIFO is preserved end to end. Piggybacking falls out of the
+//! design for free — a sequencer ack, stability ack, or 2PC vote pushed
+//! between two data messages simply shares their batch instead of occupying
+//! its own wire transmission.
+//!
+//! Accounting contract: the embedding layer counts *logical* messages when
+//! they are pushed (so per-phase protocol accounting is independent of
+//! batching) and *wire* transmissions when batches flush. With batching
+//! disabled the batcher is never constructed and the send path is
+//! unchanged.
+
+use crate::msg::MsgId;
+use bcastdb_sim::SiteId;
+use std::collections::BTreeMap;
+
+/// Fixed per-batch framing overhead (envelope header), in bytes.
+pub const BATCH_HEADER_BYTES: usize = 8;
+
+/// Fixed per-message framing overhead inside a batch (length prefix +
+/// message tag), in bytes.
+pub const PER_MSG_OVERHEAD_BYTES: usize = 2;
+
+/// Estimated serialized size of a wire message, in bytes.
+///
+/// The simulator charges transmission time per byte, so these estimates
+/// only need to be *consistent*, not exact: every implementation is a
+/// deterministic function of the message structure.
+pub trait WireSize {
+    /// Estimated serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for MsgId {
+    fn wire_size(&self) -> usize {
+        16 // origin (8) + per-origin sequence number (8)
+    }
+}
+
+/// A flushed batch: every message pushed for `to` since the last flush,
+/// in push order, plus the wire size of the whole envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch<M> {
+    /// Destination site.
+    pub to: SiteId,
+    /// The coalesced messages, in push order.
+    pub msgs: Vec<M>,
+    /// Wire size of the envelope: header + framed payloads.
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+struct Pending<M> {
+    msgs: Vec<M>,
+    bytes: usize,
+}
+
+impl<M> Pending<M> {
+    fn new() -> Self {
+        Pending {
+            msgs: Vec::new(),
+            bytes: BATCH_HEADER_BYTES,
+        }
+    }
+}
+
+/// Coalesces outgoing wire messages per destination up to a size cap.
+///
+/// Deterministic by construction: pending destinations are kept in a
+/// `BTreeMap`, so [`Batcher::flush_all`] always drains in ascending site
+/// order regardless of push order.
+#[derive(Debug)]
+pub struct Batcher<M> {
+    max_bytes: usize,
+    pending: BTreeMap<SiteId, Pending<M>>,
+}
+
+impl<M: WireSize> Batcher<M> {
+    /// Creates a batcher whose batches never exceed `max_bytes` (envelope
+    /// included) unless a single message alone is larger than the cap.
+    pub fn new(max_bytes: usize) -> Self {
+        Batcher {
+            max_bytes: max_bytes.max(BATCH_HEADER_BYTES + PER_MSG_OVERHEAD_BYTES + 1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The configured size cap in bytes.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Queues `msg` for `to`. If adding it would push the pending batch
+    /// over the size cap, the pending batch is returned (ready to send)
+    /// and `msg` starts the next one.
+    pub fn push(&mut self, to: SiteId, msg: M) -> Option<Batch<M>> {
+        let framed = PER_MSG_OVERHEAD_BYTES + msg.wire_size();
+        let slot = self.pending.entry(to).or_insert_with(Pending::new);
+        let full = if !slot.msgs.is_empty() && slot.bytes + framed > self.max_bytes {
+            let done = std::mem::replace(slot, Pending::new());
+            Some(Batch {
+                to,
+                msgs: done.msgs,
+                bytes: done.bytes,
+            })
+        } else {
+            None
+        };
+        let slot = self.pending.get_mut(&to).expect("slot just ensured");
+        slot.msgs.push(msg);
+        slot.bytes += framed;
+        full
+    }
+
+    /// True iff nothing is queued for any destination.
+    pub fn is_empty(&self) -> bool {
+        self.pending.values().all(|p| p.msgs.is_empty())
+    }
+
+    /// Number of messages currently queued for `to`.
+    pub fn pending_for(&self, to: SiteId) -> usize {
+        self.pending.get(&to).map_or(0, |p| p.msgs.len())
+    }
+
+    /// Drains every pending batch, in ascending destination order.
+    pub fn flush_all(&mut self) -> Vec<Batch<M>> {
+        let drained = std::mem::take(&mut self.pending);
+        drained
+            .into_iter()
+            .filter(|(_, p)| !p.msgs.is_empty())
+            .map(|(to, p)| Batch {
+                to,
+                msgs: p.msgs,
+                bytes: p.bytes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test message with an explicit size.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Sized(u64, usize);
+
+    impl WireSize for Sized {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn messages_coalesce_per_destination_in_push_order() {
+        let mut b = Batcher::new(1_400);
+        assert!(b.push(SiteId(1), Sized(1, 10)).is_none());
+        assert!(b.push(SiteId(2), Sized(2, 10)).is_none());
+        assert!(b.push(SiteId(1), Sized(3, 10)).is_none());
+        assert_eq!(b.pending_for(SiteId(1)), 2);
+        assert_eq!(b.pending_for(SiteId(2)), 1);
+        let batches = b.flush_all();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].to, SiteId(1));
+        assert_eq!(batches[0].msgs, vec![Sized(1, 10), Sized(3, 10)]);
+        assert_eq!(
+            batches[0].bytes,
+            BATCH_HEADER_BYTES + 2 * (PER_MSG_OVERHEAD_BYTES + 10)
+        );
+        assert_eq!(batches[1].to, SiteId(2));
+        assert!(b.is_empty(), "flush_all drains everything");
+    }
+
+    #[test]
+    fn size_cap_closes_the_batch_early() {
+        // Cap fits exactly two 40-byte messages (8 + 2*(2+40) = 92).
+        let mut b = Batcher::new(92);
+        assert!(b.push(SiteId(1), Sized(1, 40)).is_none());
+        assert!(b.push(SiteId(1), Sized(2, 40)).is_none());
+        let full = b.push(SiteId(1), Sized(3, 40)).expect("cap overflow");
+        assert_eq!(full.msgs, vec![Sized(1, 40), Sized(2, 40)]);
+        assert_eq!(full.bytes, 92);
+        // The overflowing message starts the next batch.
+        assert_eq!(b.pending_for(SiteId(1)), 1);
+        let rest = b.flush_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].msgs, vec![Sized(3, 40)]);
+    }
+
+    #[test]
+    fn oversized_message_still_travels_alone() {
+        let mut b = Batcher::new(64);
+        // Larger than the cap by itself: accepted as a singleton batch
+        // rather than rejected (the cap bounds coalescing, not messages).
+        assert!(b.push(SiteId(0), Sized(1, 500)).is_none());
+        let batches = b.flush_all();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].msgs.len(), 1);
+        assert!(batches[0].bytes > 64);
+    }
+
+    #[test]
+    fn flush_order_is_deterministic_by_site() {
+        let mut b = Batcher::new(1_400);
+        for site in [3usize, 0, 2, 1] {
+            b.push(SiteId(site), Sized(site as u64, 8));
+        }
+        let order: Vec<SiteId> = b.flush_all().into_iter().map(|x| x.to).collect();
+        assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+    }
+
+    #[test]
+    fn empty_batcher_flushes_nothing() {
+        let mut b: Batcher<Sized> = Batcher::new(1_400);
+        assert!(b.is_empty());
+        assert!(b.flush_all().is_empty());
+        assert_eq!(b.pending_for(SiteId(0)), 0);
+    }
+}

@@ -30,6 +30,13 @@ pub struct Wire<P> {
     pub payload: P,
 }
 
+impl<P: crate::batch::WireSize> crate::batch::WireSize for Wire<P> {
+    fn wire_size(&self) -> usize {
+        // id + one u64 per vector-clock component + payload.
+        self.id.wire_size() + 8 * self.vc.len() + self.payload.wire_size()
+    }
+}
+
 /// A causal delivery, with the message's vector clock exposed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery<P> {
@@ -194,19 +201,33 @@ impl<P: Clone> CausalBcast<P> {
     }
 
     /// Archived messages a peer whose delivered clock is `their_vc` is
-    /// missing, gap-first per origin, at most `cap` in total. The peer's
-    /// duplicate suppression makes over-sending harmless.
+    /// missing, at most `cap` in total. The cap is spread round-robin
+    /// across origins (one message per origin per pass, gap-first within
+    /// each origin) so a long gap from one origin cannot starve the
+    /// others out of every retransmission round. The peer's duplicate
+    /// suppression makes over-sending harmless.
     pub fn retransmissions_for(&self, their_vc: &VectorClock, cap: usize) -> Vec<Wire<P>> {
+        // One cursor per origin with at least one archived successor.
+        let mut cursors: Vec<(SiteId, u64)> = their_vc
+            .iter()
+            .map(|(site, delivered)| (site, delivered + 1))
+            .filter(|&(site, next)| self.archive.contains_key(&(site, next)))
+            .collect();
         let mut out = Vec::new();
-        for (site, delivered) in their_vc.iter() {
-            let mut next = delivered + 1;
-            while out.len() < cap {
-                match self.archive.get(&(site, next)) {
-                    Some(w) => out.push(w.clone()),
-                    None => break,
+        while out.len() < cap && !cursors.is_empty() {
+            cursors.retain_mut(|(site, next)| {
+                if out.len() >= cap {
+                    return false;
                 }
-                next += 1;
-            }
+                match self.archive.get(&(*site, *next)) {
+                    Some(w) => {
+                        out.push(w.clone());
+                        *next += 1;
+                        true
+                    }
+                    None => false,
+                }
+            });
         }
         out
     }
@@ -364,5 +385,52 @@ mod tests {
         es[1].on_wire(SiteId(0), o.outbound[0].wire.clone());
         assert_eq!(es[1].clock().get(SiteId(0)), 1);
         assert_eq!(es[1].clock().get(SiteId(1)), 0);
+    }
+
+    /// Regression: a peer missing messages from *two* origins must get
+    /// retransmissions for both, even under a cap smaller than either gap.
+    /// The old implementation exhausted the whole cap on the first origin
+    /// in clock iteration order, starving every later origin across
+    /// retransmission rounds.
+    #[test]
+    fn retransmission_cap_is_shared_fairly_across_origins() {
+        let mut es = engines(3);
+        // Site 2 archives three messages from each of origins 0 and 1.
+        for round in 0..3 {
+            let (_, o0) = es[0].broadcast(format!("a{round}"));
+            let (_, o1) = es[1].broadcast(format!("b{round}"));
+            let w0 = o0.outbound[0].wire.clone();
+            let w1 = o1.outbound[0].wire.clone();
+            es[2].on_wire(SiteId(0), w0);
+            es[2].on_wire(SiteId(1), w1);
+        }
+        // A peer that has delivered nothing asks with cap 2: it must get
+        // the first message of EACH gapped origin, not two from origin 0.
+        let out = es[2].retransmissions_for(&VectorClock::new(3), 2);
+        assert_eq!(out.len(), 2);
+        let origins: Vec<SiteId> = out.iter().map(|w| w.id.origin).collect();
+        assert!(
+            origins.contains(&SiteId(0)) && origins.contains(&SiteId(1)),
+            "cap must be split across gapped origins, got {origins:?}"
+        );
+        assert!(
+            out.iter().all(|w| w.id.seq == 1),
+            "each origin's retransmission starts at its gap"
+        );
+        // A larger cap round-robins: 2 from each origin before any third.
+        let out = es[2].retransmissions_for(&VectorClock::new(3), 4);
+        let from = |s: usize| out.iter().filter(|w| w.id.origin == SiteId(s)).count();
+        assert_eq!((from(0), from(1)), (2, 2));
+        // Uncapped, everything archived comes back, in-gap-order per origin.
+        let out = es[2].retransmissions_for(&VectorClock::new(3), 64);
+        assert_eq!(out.len(), 6);
+        for s in [0usize, 1] {
+            let seqs: Vec<u64> = out
+                .iter()
+                .filter(|w| w.id.origin == SiteId(s))
+                .map(|w| w.id.seq)
+                .collect();
+            assert_eq!(seqs, vec![1, 2, 3]);
+        }
     }
 }

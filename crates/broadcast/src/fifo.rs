@@ -21,7 +21,9 @@ use crate::msg::{MsgId, Outbound};
 use crate::reliable::{self, ReliableBcast};
 use bcastdb_sim::SiteId;
 
-/// Wire format (identical to the reliable layer's).
+/// Wire format (identical to the reliable layer's — including its
+/// [`crate::batch::WireSize`] impl, so FIFO traffic batches like reliable
+/// traffic under [`crate::batch::Batcher`]).
 pub type Wire<P> = reliable::Wire<P>;
 
 /// Delivery record (identical to the reliable layer's).

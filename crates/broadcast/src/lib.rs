@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod batch;
 pub mod causal;
 pub mod fifo;
 pub mod membership;
@@ -62,6 +63,7 @@ pub mod reliable;
 pub mod vclock;
 
 pub use atomic::{AtomicBcast, IsisAbcast, SequencerAbcast};
+pub use batch::{Batch, Batcher, WireSize};
 pub use causal::CausalBcast;
 pub use fifo::FifoBcast;
 pub use membership::{View, ViewManager};

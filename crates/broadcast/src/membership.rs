@@ -77,6 +77,16 @@ pub enum MemberWire {
     Propose(View),
 }
 
+impl crate::batch::WireSize for MemberWire {
+    fn wire_size(&self) -> usize {
+        match self {
+            MemberWire::Heartbeat => 1,
+            // tag + view id + one site id per member.
+            MemberWire::Propose(v) => 1 + 8 + 8 * v.members.len(),
+        }
+    }
+}
+
 /// Events the membership service reports to its embedding node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemberEvent {

@@ -36,6 +36,12 @@ pub struct Wire<P> {
     pub payload: P,
 }
 
+impl<P: crate::batch::WireSize> crate::batch::WireSize for Wire<P> {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + self.payload.wire_size()
+    }
+}
+
 /// An application-level delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery<P> {
@@ -201,25 +207,41 @@ impl<P: Clone> ReliableBcast<P> {
     }
 
     /// Archived messages a peer at the given delivery watermarks is
-    /// missing, gap-first per origin, at most `cap` in total. The peer's
-    /// duplicate suppression makes over-sending harmless.
+    /// missing, at most `cap` in total. The cap is spread round-robin
+    /// across origins (one message per origin per pass, gap-first within
+    /// each origin) so a long gap from one origin cannot starve the
+    /// others out of every retransmission round. The peer's duplicate
+    /// suppression makes over-sending harmless.
     pub fn retransmissions_for(&self, watermarks: &[u64], cap: usize) -> Vec<Wire<P>> {
+        // One cursor per origin with at least one archived successor.
+        let mut cursors: Vec<(SiteId, u64)> = watermarks
+            .iter()
+            .enumerate()
+            .take(self.delivered_seq.len())
+            .map(|(origin, &wm)| (SiteId(origin), wm + 1))
+            .filter(|&(origin, next)| self.archive.contains_key(&(origin, next)))
+            .collect();
         let mut out = Vec::new();
-        for (origin, &wm) in watermarks.iter().enumerate().take(self.delivered_seq.len()) {
-            let mut next = wm + 1;
-            while out.len() < cap {
-                match self.archive.get(&(SiteId(origin), next)) {
-                    Some(p) => out.push(Wire {
-                        id: MsgId {
-                            origin: SiteId(origin),
-                            seq: next,
-                        },
-                        payload: p.clone(),
-                    }),
-                    None => break, // we do not have it (or no gap)
+        while out.len() < cap && !cursors.is_empty() {
+            cursors.retain_mut(|(origin, next)| {
+                if out.len() >= cap {
+                    return false;
                 }
-                next += 1;
-            }
+                match self.archive.get(&(*origin, *next)) {
+                    Some(p) => {
+                        out.push(Wire {
+                            id: MsgId {
+                                origin: *origin,
+                                seq: *next,
+                            },
+                            payload: p.clone(),
+                        });
+                        *next += 1;
+                        true
+                    }
+                    None => false, // we do not have it (or no gap)
+                }
+            });
         }
         out
     }
@@ -339,5 +361,47 @@ mod tests {
         let b: Vec<_> = delivered.iter().filter(|p| p.starts_with('b')).collect();
         assert_eq!(a, ["a1", "a2"]);
         assert_eq!(b, ["b1", "b2", "b3"]);
+    }
+
+    /// Regression: a peer behind on *two* origins must get retransmissions
+    /// for both, even under a cap smaller than either gap. The old
+    /// implementation exhausted the whole cap on the lowest-numbered origin,
+    /// starving every later origin across sync rounds.
+    #[test]
+    fn retransmission_cap_is_shared_fairly_across_origins() {
+        let mut rb = ReliableBcast::new(SiteId(2), 3);
+        // Archive three messages from each of origins 0 and 1.
+        for seq in 1..=3u64 {
+            rb.on_wire(SiteId(0), wire(0, seq, &format!("a{seq}")));
+            rb.on_wire(SiteId(1), wire(1, seq, &format!("b{seq}")));
+        }
+        // A peer that has delivered nothing syncs with cap 2: it must get
+        // the first message of EACH gapped origin, not two from origin 0.
+        let out = rb.retransmissions_for(&[0, 0, 0], 2);
+        assert_eq!(out.len(), 2);
+        let origins: Vec<SiteId> = out.iter().map(|w| w.id.origin).collect();
+        assert!(
+            origins.contains(&SiteId(0)) && origins.contains(&SiteId(1)),
+            "cap must be split across gapped origins, got {origins:?}"
+        );
+        assert!(
+            out.iter().all(|w| w.id.seq == 1),
+            "each origin's retransmission starts at its gap"
+        );
+        // A larger cap round-robins: 2 from each origin before any third.
+        let out = rb.retransmissions_for(&[0, 0, 0], 4);
+        let from = |s: usize| out.iter().filter(|w| w.id.origin == SiteId(s)).count();
+        assert_eq!((from(0), from(1)), (2, 2));
+        // Uncapped, everything archived comes back, gap-first per origin.
+        let out = rb.retransmissions_for(&[0, 0, 0], 64);
+        assert_eq!(out.len(), 6);
+        for s in [0usize, 1] {
+            let seqs: Vec<u64> = out
+                .iter()
+                .filter(|w| w.id.origin == SiteId(s))
+                .map(|w| w.id.seq)
+                .collect();
+            assert_eq!(seqs, vec![1, 2, 3]);
+        }
     }
 }

@@ -80,6 +80,14 @@ pub struct ClusterConfig {
     /// Bucket width for per-window commit counting
     /// ([`Metrics::commit_series`]); `None` (default) disables the series.
     pub commit_window: Option<SimDuration>,
+    /// Batching flush window: `None` (default) keeps the one-message-per-
+    /// transmission send path, byte-identical to the pre-batching
+    /// behavior; `Some(w)` coalesces outgoing messages per destination for
+    /// at most `w` before flushing them as one wire transmission. Logical
+    /// per-phase message accounting is unaffected either way.
+    pub batch_window: Option<SimDuration>,
+    /// Size cap of one batch on the wire, in bytes (envelope included).
+    pub batch_max_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +110,8 @@ impl Default for ClusterConfig {
             trace_capacity: None,
             trace_jsonl: None,
             commit_window: None,
+            batch_window: None,
+            batch_max_bytes: 1_400,
         }
     }
 }
@@ -222,6 +232,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables message batching with the given flush window: outgoing
+    /// messages coalesce per destination and leave as one wire
+    /// transmission when the window expires (or the size cap fills).
+    /// Leaving this unset keeps the unbatched send path, byte-identical
+    /// to runs before the batching layer existed.
+    pub fn batch_window(mut self, window: SimDuration) -> Self {
+        self.cfg.batch_window = Some(window);
+        self
+    }
+
+    /// Size cap of one batch on the wire, in bytes (envelope included).
+    /// Only meaningful together with [`ClusterBuilder::batch_window`].
+    pub fn batch_max_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.batch_max_bytes = bytes;
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -288,6 +315,8 @@ impl Cluster {
             relay: cfg.relay,
             think_time: cfg.think_time,
             placement: cfg.placement,
+            batch_window: cfg.batch_window,
+            batch_max_bytes: cfg.batch_max_bytes,
         };
         let nodes = (0..cfg.sites)
             .map(|i| ReplicaNode::new(SiteId(i), cfg.sites, node_cfg.clone()))
@@ -830,6 +859,114 @@ mod tests {
                 "{proto}: lossless run, counters must match the network"
             );
         }
+    }
+
+    /// The batching invariant: for the same seed and workload, enabling
+    /// `batch_window` leaves the *logical* message accounting (per-phase
+    /// and per-kind counters) and the outcomes untouched, while the
+    /// network carries strictly fewer (batched) transmissions.
+    ///
+    /// The workload is deliberately conflict-free (one key per
+    /// transaction): batching delays deliveries, and under contention a
+    /// delay can legitimately flip a wound/wait or certification decision
+    /// and with it the message pattern. Without conflicts every protocol's
+    /// logical traffic is a pure function of the transaction structure, so
+    /// the counts must match exactly.
+    #[test]
+    fn batching_preserves_logical_counts_and_outcomes() {
+        for proto in ProtocolKind::ALL {
+            let run = |window: Option<SimDuration>| {
+                let mut b = Cluster::builder()
+                    .sites(4)
+                    .protocol(proto)
+                    .trace(10_000)
+                    .seed(21);
+                if let Some(w) = window {
+                    b = b.batch_window(w);
+                }
+                let mut c = b.build();
+                for i in 0..6u64 {
+                    let site = SiteId((i % 4) as usize);
+                    c.submit_at(
+                        SimTime::from_micros(i * 500),
+                        site,
+                        write_txn(&format!("k{i}"), i as i64),
+                    );
+                }
+                c.run_to_quiescence();
+                c.check_trace_invariants()
+                    .unwrap_or_else(|v| panic!("{proto}: {v}"));
+                assert!(c.replicas_converged(), "{proto}: replicas diverged");
+                c
+            };
+            let off = run(None);
+            let on = run(Some(SimDuration::from_micros(500)));
+            assert_eq!(
+                off.phase_counts(),
+                on.phase_counts(),
+                "{proto}: logical per-phase counts must not depend on batching"
+            );
+            assert_eq!(
+                off.metrics().messages_by_kind(),
+                on.metrics().messages_by_kind(),
+                "{proto}: logical per-kind counts must not depend on batching"
+            );
+            assert_eq!(
+                off.metrics().commits(),
+                on.metrics().commits(),
+                "{proto}: outcomes must not depend on batching"
+            );
+            // Wire accounting: every network transmission of the batched
+            // run is a batch envelope, and there are fewer of them than
+            // logical messages (coalescing actually happened).
+            assert_eq!(off.metrics().wire_batches(), 0);
+            assert_eq!(
+                on.messages_sent(),
+                on.metrics().wire_batches(),
+                "{proto}: batched runs send only envelopes"
+            );
+            assert_eq!(
+                on.metrics().wire_batched_msgs(),
+                on.phase_counts().total(),
+                "{proto}: every logical message must travel in some batch"
+            );
+            assert!(
+                on.messages_sent() < off.messages_sent(),
+                "{proto}: batching must reduce wire transmissions ({} vs {})",
+                on.messages_sent(),
+                off.messages_sent()
+            );
+        }
+    }
+
+    /// With `batch_window` unset the batcher is never constructed and the
+    /// run is identical to the pre-batching send path — same events, same
+    /// messages, same outcomes for the same seed.
+    #[test]
+    fn batching_off_is_the_default_and_changes_nothing() {
+        let run = |explicit_default: bool| {
+            let mut b = Cluster::builder()
+                .sites(3)
+                .protocol(ProtocolKind::CausalBcast)
+                .seed(5);
+            if explicit_default {
+                b = b.batch_max_bytes(1_400); // cap without window: inert
+            }
+            let mut c = b.build();
+            c.submit(SiteId(0), write_txn("x", 7));
+            c.run_to_quiescence();
+            (
+                c.events_processed(),
+                c.messages_sent(),
+                c.metrics().commits(),
+                c.metrics().wire_batches(),
+            )
+        };
+        let (ev_a, msg_a, commits_a, batches_a) = run(false);
+        let (ev_b, msg_b, commits_b, batches_b) = run(true);
+        assert_eq!((ev_a, msg_a, commits_a), (ev_b, msg_b, commits_b));
+        assert_eq!(batches_a, 0);
+        assert_eq!(batches_b, 0);
     }
 
     #[test]

@@ -8,9 +8,10 @@ use crate::protocols::{
     atomic::AtomicProto, causal::CausalProto, p2p::P2pProto, reliable::ReliableProto, Effects,
 };
 use crate::state::{ConflictPolicy, SiteState};
+use bcastdb_broadcast::batch::{Batch, Batcher};
 use bcastdb_broadcast::membership::{MemberEvent, ViewManager};
 use bcastdb_broadcast::msg::expand_dest;
-use bcastdb_sim::telemetry::TraceEvent;
+use bcastdb_sim::telemetry::{Phase, TraceEvent};
 use bcastdb_sim::{Ctx, Node, SendOutcome, SimDuration, SimTime, SiteId};
 use std::collections::BTreeSet;
 
@@ -42,6 +43,15 @@ pub struct NodeConfig {
     pub think_time: SimDuration,
     /// Replica placement.
     pub placement: crate::placement::Placement,
+    /// Batching flush window: `None` (default) sends every message
+    /// individually — byte-identical to the pre-batching behavior.
+    /// `Some(w)` coalesces outgoing messages per destination and flushes
+    /// them as one wire transmission after at most `w` (earlier if
+    /// `batch_max_bytes` would overflow). Acks, votes, and other control
+    /// traffic piggyback on whatever batch is already leaving.
+    pub batch_window: Option<SimDuration>,
+    /// Size cap of one batch on the wire, in bytes (envelope included).
+    pub batch_max_bytes: usize,
 }
 
 impl Default for NodeConfig {
@@ -58,6 +68,8 @@ impl Default for NodeConfig {
             relay: false,
             think_time: SimDuration::ZERO,
             placement: crate::placement::Placement::Full,
+            batch_window: None,
+            batch_max_bytes: 1_400,
         }
     }
 }
@@ -91,6 +103,10 @@ pub struct ReplicaNode {
     member: Option<ViewManager>,
     cfg: NodeConfig,
     tick_armed: bool,
+    /// Outgoing-message coalescing, present iff `cfg.batch_window` is set.
+    batcher: Option<Batcher<ReplicaMsg>>,
+    /// True while a `FlushBatch` timer is pending.
+    flush_armed: bool,
 }
 
 impl ReplicaNode {
@@ -132,12 +148,15 @@ impl ReplicaNode {
         let member = cfg
             .membership
             .then(|| ViewManager::new(me, n, cfg.tick_every, cfg.suspect_after));
+        let batcher = cfg.batch_window.map(|_| Batcher::new(cfg.batch_max_bytes));
         ReplicaNode {
             st,
             proto,
             member,
             cfg,
             tick_armed: false,
+            batcher,
+            flush_armed: false,
         }
     }
 
@@ -217,6 +236,13 @@ impl ReplicaNode {
             m.resume(v, now);
         }
         self.tick_armed = false;
+        // Anything queued for batching at crash time is stale: discard it.
+        // A leftover FlushBatch timer is harmless (flushing empty is a
+        // no-op), so just let the next send re-arm.
+        if let Some(b) = &mut self.batcher {
+            b.flush_all();
+        }
+        self.flush_armed = false;
     }
 
     fn flush(&mut self, fx: Effects, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
@@ -237,7 +263,10 @@ impl ReplicaNode {
                 }
                 // Kind and phase counters move together at this single call
                 // site, so the per-phase totals sum to the flat counts by
-                // construction.
+                // construction. This is the *logical* accounting: with
+                // batching on, the message is recorded here (when enqueued)
+                // and the wire transmission is recorded at batch flush, so
+                // the logical counts are identical with batching on or off.
                 self.st.metrics.record_send(kind, phase);
                 self.st.tracer.emit(|| TraceEvent::Send {
                     at: now,
@@ -245,15 +274,76 @@ impl ReplicaNode {
                     to,
                     phase,
                 });
-                if ctx.send(to, msg.clone()) == SendOutcome::Dropped {
-                    self.st.tracer.emit(|| TraceEvent::Drop {
-                        at: now,
-                        from: me,
-                        to,
-                        phase,
-                    });
+                match &mut self.batcher {
+                    Some(b) => {
+                        let full = b.push(to, msg.clone());
+                        if let Some(batch) = full {
+                            self.send_wire_batch(batch, ctx);
+                        }
+                    }
+                    None => {
+                        if ctx.send(to, msg.clone()) == SendOutcome::Dropped {
+                            self.st.tracer.emit(|| TraceEvent::Drop {
+                                at: now,
+                                from: me,
+                                to,
+                                phase,
+                            });
+                        }
+                    }
                 }
             }
+        }
+        self.arm_flush(ctx);
+    }
+
+    /// Hands one coalesced batch to the network as a single sized
+    /// transmission, recording the wire-level accounting. Even a batch of
+    /// one message travels in the envelope, so a flushed run's network
+    /// message count *is* its wire-batch count.
+    fn send_wire_batch(
+        &mut self,
+        batch: Batch<ReplicaMsg>,
+        ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>,
+    ) {
+        let now = ctx.now();
+        let me = ctx.me();
+        let to = batch.to;
+        let msgs = batch.msgs.len() as u64;
+        let bytes = batch.bytes;
+        self.st.metrics.record_wire_batch(msgs, bytes as u64);
+        self.st.tracer.emit(|| TraceEvent::BatchFlushed {
+            at: now,
+            from: me,
+            to,
+            msgs,
+            bytes: bytes as u64,
+        });
+        let phases: Vec<Phase> = batch.msgs.iter().map(|m| m.phase()).collect();
+        if ctx.send_sized(to, ReplicaMsg::Batch(batch.msgs), bytes) == SendOutcome::Dropped {
+            // The whole envelope was lost: trace the loss of every logical
+            // message it carried, mirroring the unbatched path.
+            for phase in phases {
+                self.st.tracer.emit(|| TraceEvent::Drop {
+                    at: now,
+                    from: me,
+                    to,
+                    phase,
+                });
+            }
+        }
+    }
+
+    /// Schedules the flush-window timer when messages are waiting and no
+    /// timer is pending. No-op with batching off.
+    fn arm_flush(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
+        let Some(window) = self.cfg.batch_window else {
+            return;
+        };
+        let pending = self.batcher.as_ref().is_some_and(|b| !b.is_empty());
+        if pending && !self.flush_armed {
+            self.flush_armed = true;
+            ctx.set_timer(window, ReplicaTimer::FlushBatch);
         }
     }
 
@@ -340,6 +430,61 @@ impl ReplicaNode {
         }
     }
 
+    /// Delivers and dispatches one (possibly unbatched) incoming message:
+    /// emits its `Deliver` trace event and routes it to the protocol,
+    /// membership service, or recovery handler it belongs to.
+    fn handle_one(
+        &mut self,
+        fx: &mut Effects,
+        now: SimTime,
+        me: SiteId,
+        from: SiteId,
+        msg: ReplicaMsg,
+    ) {
+        let phase = msg.phase();
+        self.st.tracer.emit(|| TraceEvent::Deliver {
+            at: now,
+            from,
+            to: me,
+            phase,
+        });
+        match (msg, &mut self.proto) {
+            (ReplicaMsg::R(wire), Proto::Reliable(p)) => {
+                p.on_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::C(wire), Proto::Causal(p)) => p.on_wire(&mut self.st, fx, now, from, wire),
+            (ReplicaMsg::C(wire), Proto::Atomic(p)) => {
+                p.on_causal_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::ASeq(wire), Proto::Atomic(p)) => {
+                p.on_seq_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::AIsis(wire), Proto::Atomic(p)) => {
+                p.on_isis_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::P2p(m), Proto::P2p(p)) => p.on_msg(&mut self.st, fx, now, from, m),
+            (ReplicaMsg::CRetrans(wire), Proto::Causal(p)) => {
+                p.on_retrans_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::RSync(watermarks), Proto::Reliable(p)) => {
+                p.on_sync(fx, from, &watermarks);
+            }
+            (ReplicaMsg::Member(wire), _) => {
+                if let Some(m) = &mut self.member {
+                    let (events, outbound) = m.on_wire(from, wire, now);
+                    for ob in outbound {
+                        fx.send(ob.dest, ReplicaMsg::Member(ob.wire));
+                    }
+                    self.apply_member_events(fx, now, events);
+                }
+            }
+            _ => {
+                // Message for a protocol this cluster does not run — or a
+                // nested batch, which the flush path never produces; drop.
+            }
+        }
+    }
+
     fn dispatch_events(
         &mut self,
         fx: &mut Effects,
@@ -374,53 +519,20 @@ impl Node for ReplicaNode {
             m.heard_from(from, now);
         }
         let me = ctx.me();
-        let phase = msg.phase();
-        self.st.tracer.emit(|| TraceEvent::Deliver {
-            at: now,
-            from,
-            to: me,
-            phase,
-        });
-        match (msg, &mut self.proto) {
-            (ReplicaMsg::R(wire), Proto::Reliable(p)) => {
-                p.on_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::C(wire), Proto::Causal(p)) => {
-                p.on_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::C(wire), Proto::Atomic(p)) => {
-                p.on_causal_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::ASeq(wire), Proto::Atomic(p)) => {
-                p.on_seq_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::AIsis(wire), Proto::Atomic(p)) => {
-                p.on_isis_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::P2p(m), Proto::P2p(p)) => p.on_msg(&mut self.st, &mut fx, now, from, m),
-            (ReplicaMsg::CRetrans(wire), Proto::Causal(p)) => {
-                p.on_retrans_wire(&mut self.st, &mut fx, now, from, wire)
-            }
-            (ReplicaMsg::RSync(watermarks), Proto::Reliable(p)) => {
-                p.on_sync(&mut fx, from, &watermarks);
-            }
-            (ReplicaMsg::Member(wire), _) => {
-                if let Some(m) = &mut self.member {
-                    let (events, outbound) = m.on_wire(from, wire, now);
-                    for ob in outbound {
-                        fx.send(ob.dest, ReplicaMsg::Member(ob.wire));
-                    }
-                    self.apply_member_events(&mut fx, now, events);
+        match msg {
+            // Unwrap a batch envelope: each inner message is delivered and
+            // processed in push order, exactly as if it had travelled
+            // alone. The envelope itself never enters accounting.
+            ReplicaMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.handle_one(&mut fx, now, me, from, m);
                 }
             }
-            _ => {
-                // Message for a protocol this cluster does not run; drop.
-            }
+            msg => self.handle_one(&mut fx, now, me, from, msg),
         }
         self.flush(fx, ctx);
         self.arm_tick(ctx);
     }
-
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>, tag: ReplicaTimer) {
         let now = ctx.now();
         let mut fx = Effects::new();
@@ -442,6 +554,16 @@ impl Node for ReplicaNode {
                 Proto::Atomic(p) => p.continue_write(&mut self.st, &mut fx, now, id),
                 Proto::P2p(_) => {} // the baseline paces writes by its acks
             },
+            ReplicaTimer::FlushBatch => {
+                self.flush_armed = false;
+                let batches = match &mut self.batcher {
+                    Some(b) => b.flush_all(),
+                    None => Vec::new(),
+                };
+                for batch in batches {
+                    self.send_wire_batch(batch, ctx);
+                }
+            }
             ReplicaTimer::Tick => {
                 self.tick_armed = false;
                 match &mut self.proto {

@@ -110,6 +110,27 @@ impl Metrics {
         self.counters.incr(phase.counter());
     }
 
+    /// Records one wire-level batch transmission carrying `msgs` coalesced
+    /// logical messages and `bytes` on the wire. Wire accounting is kept
+    /// separate from [`Metrics::record_send`]'s logical accounting (whose
+    /// `msg_*`/`phase_*` counters are identical with batching on or off);
+    /// the `wire_*` counters say what the network actually carried.
+    pub fn record_wire_batch(&mut self, msgs: u64, bytes: u64) {
+        self.counters.incr("wire_batches");
+        self.counters.add("wire_batched_msgs", msgs);
+        self.counters.add("wire_batched_bytes", bytes);
+    }
+
+    /// Number of wire-level batch transmissions recorded.
+    pub fn wire_batches(&self) -> u64 {
+        self.counters.get("wire_batches")
+    }
+
+    /// Logical messages that travelled inside wire batches.
+    pub fn wire_batched_msgs(&self) -> u64 {
+        self.counters.get("wire_batched_msgs")
+    }
+
     /// The per-phase message tally recorded via [`Metrics::record_send`].
     pub fn phase_counts(&self) -> PhaseCounts {
         let mut pc = PhaseCounts::default();

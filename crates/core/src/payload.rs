@@ -2,6 +2,7 @@
 //! selector.
 
 use bcastdb_broadcast::atomic::{IsisWire, SeqWire};
+use bcastdb_broadcast::batch::{WireSize, BATCH_HEADER_BYTES, PER_MSG_OVERHEAD_BYTES};
 use bcastdb_broadcast::membership::MemberWire;
 use bcastdb_broadcast::{causal, reliable};
 use bcastdb_db::{Key, TxnId, TxnSpec, WriteOp};
@@ -164,6 +165,41 @@ impl Payload {
     }
 }
 
+/// Wire-size estimate of one `(key, version)` certification entry.
+fn version_entry_size(entry: &(Key, Option<TxnId>)) -> usize {
+    entry.0.as_str().len() + 1 + if entry.1.is_some() { 16 } else { 0 }
+}
+
+/// Wire-size estimate of one write operation (key text + 8-byte value).
+fn write_op_size(op: &WriteOp) -> usize {
+    op.key.as_str().len() + 8
+}
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        // TxnId ≈ 16 bytes, TxnPriority ≈ 24 bytes. Like all WireSize
+        // estimates these only need to be deterministic and plausible —
+        // the simulator charges transmission time per byte.
+        match self {
+            Payload::Write { op, .. } => 16 + 24 + write_op_size(op) + 8 + 8,
+            Payload::CommitReq {
+                read_versions,
+                write_versions,
+                ..
+            } => {
+                16 + 24
+                    + 8
+                    + read_versions.iter().map(version_entry_size).sum::<usize>()
+                    + write_versions.iter().map(version_entry_size).sum::<usize>()
+            }
+            Payload::Vote { .. } => 16 + 8 + 1,
+            Payload::Nack { .. } => 16 + 8,
+            Payload::AbortDecision { .. } => 16,
+            Payload::Null => 1,
+        }
+    }
+}
+
 /// Point-to-point messages of the §2 baseline (no broadcast layer).
 #[derive(Debug, Clone, PartialEq)]
 pub enum P2pMsg {
@@ -206,6 +242,20 @@ pub enum P2pMsg {
     },
 }
 
+impl WireSize for P2pMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            P2pMsg::Write { op, .. } => 16 + write_op_size(op) + 8,
+            P2pMsg::WriteAck { .. } => 16 + 8,
+            P2pMsg::CommitReq { writes, .. } => {
+                16 + writes.iter().map(write_op_size).sum::<usize>()
+            }
+            P2pMsg::Vote { .. } => 16 + 8 + 1,
+            P2pMsg::Abort { .. } => 16,
+        }
+    }
+}
+
 /// The top-level message type of a replica node: the union of every
 /// primitive's wire format plus the baseline's point-to-point messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,6 +279,12 @@ pub enum ReplicaMsg {
     /// except it never triggers gap-report handling — retransmitted nulls
     /// carry stale clocks that must not solicit further retransmissions.
     CRetrans(causal::Wire<Payload>),
+    /// A batch of coalesced messages produced by the batching layer
+    /// (`batch_window` enabled). The envelope is pure transport: the
+    /// receiver unwraps and processes each inner message in order, and
+    /// only the inner messages enter per-phase accounting — logical
+    /// counts are identical with batching on or off.
+    Batch(Vec<ReplicaMsg>),
 }
 
 impl ReplicaMsg {
@@ -250,6 +306,7 @@ impl ReplicaMsg {
             ReplicaMsg::Member(_) => "msg_membership",
             ReplicaMsg::RSync(_) => "msg_sync",
             ReplicaMsg::CRetrans(_) => "msg_retrans",
+            ReplicaMsg::Batch(_) => "msg_batch",
         }
     }
 
@@ -301,6 +358,10 @@ impl ReplicaMsg {
             },
             ReplicaMsg::Member(_) => Phase::Membership,
             ReplicaMsg::RSync(_) | ReplicaMsg::CRetrans(_) => Phase::Retransmit,
+            // The batch envelope never enters per-phase accounting (the
+            // engine counts and traces its inner messages individually);
+            // report the first inner message's phase for completeness.
+            ReplicaMsg::Batch(msgs) => msgs.first().map_or(Phase::Ack, |m| m.phase()),
         }
     }
 
@@ -310,6 +371,36 @@ impl ReplicaMsg {
             Payload::Vote { .. } => Phase::Vote,
             Payload::Nack { .. } | Payload::Null => Phase::Ack,
             Payload::AbortDecision { .. } => Phase::Decision,
+        }
+    }
+
+    /// Estimated wire size in bytes — what a batched transmission charges
+    /// the simulated link for this message (the unbatched send path keeps
+    /// the simulator's fixed default size, byte-for-byte identical to the
+    /// pre-batching behavior).
+    pub fn size_hint(&self) -> usize {
+        self.wire_size()
+    }
+}
+
+impl WireSize for ReplicaMsg {
+    fn wire_size(&self) -> usize {
+        // 1 tag byte + the variant's wire format.
+        1 + match self {
+            ReplicaMsg::R(w) => w.wire_size(),
+            ReplicaMsg::C(w) | ReplicaMsg::CRetrans(w) => w.wire_size(),
+            ReplicaMsg::ASeq(w) => w.wire_size(),
+            ReplicaMsg::AIsis(w) => w.wire_size(),
+            ReplicaMsg::P2p(m) => m.wire_size(),
+            ReplicaMsg::Member(w) => w.wire_size(),
+            ReplicaMsg::RSync(watermarks) => 8 * watermarks.len(),
+            ReplicaMsg::Batch(msgs) => {
+                BATCH_HEADER_BYTES
+                    + msgs
+                        .iter()
+                        .map(|m| PER_MSG_OVERHEAD_BYTES + m.wire_size())
+                        .sum::<usize>()
+            }
         }
     }
 }
@@ -327,6 +418,8 @@ pub enum ReplicaTimer {
     /// Think time elapsed: the local transaction broadcasts its next write
     /// operation (or, after the last one, its commit request).
     WriteStep(TxnId),
+    /// Batching flush window expired: send every pending batch.
+    FlushBatch,
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ pub struct SegmentSummary {
     /// End-to-end commit latencies.
     pub end_to_end: LatencyStats,
     per_segment: [LatencyStats; 5],
+    clamped_spans: usize,
+    clamp_events: u64,
 }
 
 impl SegmentSummary {
@@ -30,6 +32,10 @@ impl SegmentSummary {
         for (i, seg) in Segment::ALL.iter().enumerate() {
             self.per_segment[i].record(breakdown.get(*seg));
         }
+        if breakdown.clamped > 0 {
+            self.clamped_spans += 1;
+            self.clamp_events += u64::from(breakdown.clamped);
+        }
     }
 
     /// Stats for one segment.
@@ -41,6 +47,17 @@ impl SegmentSummary {
     /// Number of committed transactions folded in.
     pub fn count(&self) -> usize {
         self.end_to_end.count()
+    }
+
+    /// Spans whose raw milestones were non-monotonic (at least one
+    /// milestone was clamped to make the decomposition telescope).
+    pub fn clamped_spans(&self) -> usize {
+        self.clamped_spans
+    }
+
+    /// Total clamped milestones across all folded-in spans.
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
     }
 }
 
@@ -142,6 +159,14 @@ pub fn render_summary(summary: &SegmentSummary) -> String {
         e.p99().to_string(),
         100.0
     );
+    if summary.clamped_spans() > 0 {
+        let _ = writeln!(
+            out,
+            "non-monotonic spans: {} ({} clamped milestones)",
+            summary.clamped_spans(),
+            summary.clamp_events()
+        );
+    }
     out
 }
 

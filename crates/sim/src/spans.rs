@@ -106,6 +106,13 @@ pub struct SegmentBreakdown {
     pub votes: SimDuration,
     /// Time in [`Segment::Decide`].
     pub decide: SimDuration,
+    /// How many raw milestones had to be clamped into `[predecessor, end]`
+    /// to make the telescoping sum exact — i.e. were recorded
+    /// *non-monotonically* relative to the canonical milestone order.
+    /// Zero for a well-ordered execution; a nonzero count flags spans
+    /// whose decomposition absorbed out-of-order timestamps rather than
+    /// hiding them.
+    pub clamped: u32,
 }
 
 impl SegmentBreakdown {
@@ -243,7 +250,10 @@ impl TxnSpan {
     /// Missing milestones inherit their predecessor (zero-width segment);
     /// milestones recorded outside `[submit, commit]` — e.g. a straggler
     /// site's vote arriving after the origin already decided — are clamped
-    /// into it, which is what makes the telescoping sum exact.
+    /// into it, which is what makes the telescoping sum exact. Each clamp
+    /// that actually moved a raw milestone is counted in
+    /// [`SegmentBreakdown::clamped`], so non-monotonic executions are
+    /// flagged rather than silently absorbed.
     pub fn decompose(&self) -> Option<SegmentBreakdown> {
         let submit = self.submit?;
         let Some(SpanOutcome::Committed { at: end }) = self.outcome else {
@@ -261,8 +271,15 @@ impl TxnSpan {
             .map(|v| v.at)
             .max()
             .or_else(|| self.decided.get(&self.txn.origin).map(|&(at, _)| at));
-        let clamp = |raw: Option<SimTime>, prev: SimTime| match raw {
-            Some(t) => t.max(prev).min(end),
+        let mut clamped = 0u32;
+        let mut clamp = |raw: Option<SimTime>, prev: SimTime| match raw {
+            Some(t) => {
+                let c = t.max(prev).min(end);
+                if c != t {
+                    clamped += 1;
+                }
+                c
+            }
             None => prev,
         };
         let m0 = submit.min(end);
@@ -276,6 +293,7 @@ impl TxnSpan {
             order_wait: m3.saturating_since(m2),
             votes: m4.saturating_since(m3),
             decide: end.saturating_since(m4),
+            clamped,
         })
     }
 }
@@ -366,6 +384,7 @@ impl SpanBuilder {
             TraceEvent::Send { .. }
             | TraceEvent::Deliver { .. }
             | TraceEvent::Drop { .. }
+            | TraceEvent::BatchFlushed { .. }
             | TraceEvent::ViewChange { .. }
             | TraceEvent::Crash { .. } => {}
         }
@@ -540,6 +559,60 @@ mod tests {
         assert_eq!(d.total().as_micros(), 50, "sum still exact");
         assert_eq!(d.votes.as_micros(), 0, "straggler vote excluded");
         assert_eq!(d.decide.as_micros(), 10);
+        assert_eq!(d.clamped, 0, "excluded straggler is not a clamp");
+    }
+
+    #[test]
+    fn non_monotonic_milestones_are_counted_not_hidden() {
+        // Locks recorded *after* the commit request went out (a reordered
+        // trace, or a bug in the instrumented engine): the decomposition
+        // clamps the milestone so segments still telescope, and reports
+        // exactly how many raw milestones it had to move.
+        let tx = txn(1, 1);
+        let mut b = SpanBuilder::new();
+        b.ingest(&TraceEvent::Submit {
+            at: t(0),
+            txn: tx,
+            read_only: false,
+        });
+        b.ingest(&TraceEvent::CommitReqOut { at: t(10), txn: tx });
+        b.ingest(&TraceEvent::LocksAcquired { at: t(30), txn: tx });
+        b.ingest(&TraceEvent::Vote {
+            at: t(40),
+            site: SiteId(0),
+            txn: tx,
+            yes: true,
+        });
+        b.ingest(&TraceEvent::Commit {
+            at: t(50),
+            site: SiteId(1),
+            txn: tx,
+        });
+        let d = b.get(tx).unwrap().decompose().unwrap();
+        assert_eq!(d.total().as_micros(), 50, "clamping keeps the sum exact");
+        // locks@30 lands after commit_req_out@10 in milestone order, so
+        // commit_req_out@10 is clamped up to 30.
+        assert_eq!(d.clamped, 1, "one raw milestone was non-monotonic");
+
+        // A well-ordered run reports zero.
+        let tx2 = txn(1, 2);
+        b.ingest(&TraceEvent::Submit {
+            at: t(0),
+            txn: tx2,
+            read_only: false,
+        });
+        b.ingest(&TraceEvent::LocksAcquired { at: t(5), txn: tx2 });
+        b.ingest(&TraceEvent::CommitReqOut {
+            at: t(10),
+            txn: tx2,
+        });
+        b.ingest(&TraceEvent::Commit {
+            at: t(20),
+            site: SiteId(1),
+            txn: tx2,
+        });
+        let d2 = b.get(tx2).unwrap().decompose().unwrap();
+        assert_eq!(d2.clamped, 0);
     }
 
     #[test]

@@ -239,6 +239,22 @@ pub enum TraceEvent {
         /// Protocol phase of the message.
         phase: Phase,
     },
+    /// The batching layer flushed a batch of coalesced wire messages to
+    /// the network as one transmission. Logical `Send` events were already
+    /// emitted when each constituent message was enqueued; this event
+    /// accounts for the wire-level transmission that carried them.
+    BatchFlushed {
+        /// Virtual flush time.
+        at: SimTime,
+        /// Sender.
+        from: SiteId,
+        /// Receiver.
+        to: SiteId,
+        /// Number of logical messages coalesced into the batch.
+        msgs: u64,
+        /// Wire size of the whole batch in bytes (header + payloads).
+        bytes: u64,
+    },
     /// A client submitted a transaction at its origin site.
     Submit {
         /// Virtual submission time.
@@ -349,6 +365,7 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Drop { at, .. }
+            | TraceEvent::BatchFlushed { at, .. }
             | TraceEvent::Submit { at, .. }
             | TraceEvent::LocksAcquired { at, .. }
             | TraceEvent::CommitReqOut { at, .. }
@@ -396,6 +413,20 @@ impl TraceEvent {
                 to,
                 phase,
             } => msg("drop", *at, *from, *to, *phase),
+            TraceEvent::BatchFlushed {
+                at,
+                from,
+                to,
+                msgs,
+                bytes,
+            } => format!(
+                "{{\"ev\":\"batch\",\"at\":{},\"from\":{},\"to\":{},\"msgs\":{},\"bytes\":{}}}",
+                at.as_micros(),
+                from.0,
+                to.0,
+                msgs,
+                bytes
+            ),
             TraceEvent::Submit { at, txn, read_only } => format!(
                 "{{\"ev\":\"submit\",\"at\":{},\"origin\":{},\"num\":{},\"ro\":{}}}",
                 at.as_micros(),
@@ -544,6 +575,13 @@ impl TraceEvent {
                 from: site("from")?,
                 to: site("to")?,
                 phase: phase()?,
+            }),
+            "batch" => Ok(TraceEvent::BatchFlushed {
+                at,
+                from: site("from")?,
+                to: site("to")?,
+                msgs: num("msgs")?,
+                bytes: num("bytes")?,
             }),
             "submit" => Ok(TraceEvent::Submit {
                 at,
@@ -1075,7 +1113,9 @@ impl TraceInvariants {
             } => {
                 *self.delivers.entry((*from, *to, *phase)).or_insert(0) += 1;
             }
-            TraceEvent::Drop { .. } => {}
+            // Wire-level bookkeeping: the logical Send/Deliver events carry
+            // the per-link accounting, so batch flushes need no tracking.
+            TraceEvent::Drop { .. } | TraceEvent::BatchFlushed { .. } => {}
             TraceEvent::Submit { txn, .. } => {
                 self.txns.entry(*txn).or_default().submitted = true;
             }
@@ -1333,6 +1373,13 @@ mod tests {
         all.push(TraceEvent::Crash {
             at: t(11),
             site: SiteId(2),
+        });
+        all.push(TraceEvent::BatchFlushed {
+            at: t(12),
+            from: SiteId(0),
+            to: SiteId(1),
+            msgs: 3,
+            bytes: 200,
         });
         let mut sink = JsonlSink::new(Vec::new());
         for ev in &all {

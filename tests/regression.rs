@@ -230,6 +230,13 @@ fn wait_die_dies_on_prepared_holders() {
 /// must happen *before* the commit request is broadcast, or the remote
 /// commits a transaction its origin is about to reject. Found by the
 /// serializability property test.
+///
+/// This is the checked-in proptest shrink from
+/// `tests/prop_serializability.proptest-regressions` (`CausalBcast,
+/// sites = 2, seed = 303, n_keys = 54, …`), promoted to a named
+/// deterministic test so the scenario survives even if that seed file is
+/// ever pruned. Every literal below comes from the shrink; change neither
+/// without the other.
 #[test]
 fn causal_origin_vetoes_precede_commit_request() {
     let cfg = WorkloadConfig {
@@ -248,6 +255,11 @@ fn causal_origin_vetoes_precede_commit_request() {
     let run = WorkloadRun::new(cfg, 303 ^ 0xABCD);
     let report = run.open_loop(&mut c, 9, SimDuration::from_micros(14448));
     assert!(report.quiesced && report.all_terminated());
+    assert_eq!(
+        report.metrics.commits() + report.metrics.aborts(),
+        18,
+        "2 sites x 9 txns must all terminate exactly once"
+    );
     assert!(
         report.converged,
         "origin veto raced the remote's instant ack"

@@ -239,6 +239,15 @@ fn event() -> impl Strategy<Value = TraceEvent> {
         (time(), site(), proptest::collection::vec(site(), 0..8))
             .prop_map(|(at, site, members)| TraceEvent::ViewChange { at, site, members }),
         (time(), site()).prop_map(|(at, site)| TraceEvent::Crash { at, site }),
+        (time(), site(), site(), 1u64..64, 0u64..1_000_000).prop_map(
+            |(at, from, to, msgs, bytes)| TraceEvent::BatchFlushed {
+                at,
+                from,
+                to,
+                msgs,
+                bytes,
+            }
+        ),
     ]
 }
 
