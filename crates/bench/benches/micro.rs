@@ -10,7 +10,8 @@ use bcastdb_broadcast::{CausalBcast, ReliableBcast, VectorClock};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_db::lock::LockMode;
 use bcastdb_db::{Key, LockManager, Store, TxnId, TxnSpec, WriteOp};
-use bcastdb_sim::SiteId;
+use bcastdb_sim::{EventKind, EventQueue, SimTime, SiteId};
+use std::sync::Arc;
 
 fn bench_vector_clock(c: &mut Criterion) {
     let mut g = c.benchmark_group("vclock");
@@ -187,6 +188,74 @@ fn bench_broadcast_engines(c: &mut Criterion) {
     g.finish();
 }
 
+/// The simulator's event queue under an interleaved schedule/pop load —
+/// the single hottest structure in every run. The pre-sized variant
+/// ([`EventQueue::with_capacity`]) is what `Simulation::new` uses.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64, ()> = EventQueue::with_capacity(10_000);
+            // Scramble the times so the heap actually works for its pops.
+            for i in 0..10_000u64 {
+                q.schedule(
+                    SimTime::from_micros(black_box(i.wrapping_mul(2_654_435_761) % 10_000)),
+                    EventKind::Deliver {
+                        from: SiteId(0),
+                        to: SiteId((i % 5) as usize),
+                        msg: i,
+                    },
+                );
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.time.as_micros());
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+/// The engine's fan-out hot path in miniature: one broadcast payload,
+/// thirteen destinations. The payload mirrors the engine's real one — a
+/// nested structure of heap-allocated keys and values, so a deep clone
+/// is one allocation per key, not a single flat memcpy. `deep_clone`
+/// copies the payload body per destination (the pre-optimization
+/// behaviour); `arc_share` wraps it in an [`Arc`] once and bumps the
+/// refcount per destination, which is what the replica engine does now —
+/// O(1) payload copies per broadcast regardless of fan-out.
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fanout");
+    let payload: Vec<(String, i64)> = (0..16)
+        .map(|i| (format!("key-{i:04}-abcdefgh"), i as i64))
+        .collect();
+    g.bench_function("clone_vs_arc_n13/deep_clone", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..13 {
+                let copy = black_box(&payload).clone();
+                // Force the copy to materialize — without this the
+                // allocation+memcpy is dead code and LLVM elides it.
+                total += black_box(&copy).len();
+            }
+            total
+        })
+    });
+    g.bench_function("clone_vs_arc_n13/arc_share", |b| {
+        b.iter(|| {
+            let shared = Arc::new(black_box(&payload).clone());
+            let mut total = 0usize;
+            for _ in 0..13 {
+                let copy = Arc::clone(&shared);
+                total += black_box(&copy).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e_txn_5sites");
     g.sample_size(20);
@@ -213,6 +282,8 @@ criterion_group!(
     bench_lock_manager,
     bench_store,
     bench_broadcast_engines,
+    bench_event_queue,
+    bench_fanout,
     bench_end_to_end
 );
 criterion_main!(benches);

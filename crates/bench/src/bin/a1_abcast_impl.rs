@@ -5,8 +5,12 @@
 //! implementations — a fixed sequencer (2 hops, ~N+1 messages) and the
 //! decentralized ISIS agreement (3 hops, 3(N-1) messages) — and reports
 //! message counts and commit latency as the system grows.
+//!
+//! The `(sites, impl)` sweep runs on `BCASTDB_JOBS` worker threads; rows
+//! are assembled in config order, so the output is byte-identical at any
+//! job count.
 
-use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{AbcastImpl, Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -31,36 +35,49 @@ fn main() {
             "p95_ms",
         ],
     );
+    let mut configs = Vec::new();
     for n in [3usize, 5, 7, 9, 13] {
         for (name, imp) in [
             ("sequencer", AbcastImpl::Sequencer),
             ("isis", AbcastImpl::Isis),
         ] {
-            let mut cluster = Cluster::builder()
-                .sites(n)
-                .protocol(ProtocolKind::AtomicBcast)
-                .abcast(imp)
-                .trace(TRACE_CAPACITY)
-                .seed(29)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 290 + n as u64);
-            let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(10));
-            assert!(report.quiesced, "{name}@{n} did not quiesce");
-            assert!(report.all_terminated(), "{name}@{n} wedged transactions");
-            cluster.check_serializability().expect("serializable");
-            check_traced_run(&cluster, &format!("{name}@{n}"));
-            let m = report.metrics;
-            let per_txn = report.messages as f64 / m.commits().max(1) as f64;
-            table.row(&[
-                &n,
-                &name,
-                &m.commits(),
-                &report.messages,
-                &format!("{per_txn:.1}"),
-                &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
-                &format!("{:.3}", m.update_latency.p95().as_millis_f64()),
-            ]);
+            configs.push((n, name, imp));
         }
     }
+    let outcome = Sweep::from_env().run(configs, |&(n, name, imp)| {
+        let mut cluster = Cluster::builder()
+            .sites(n)
+            .protocol(ProtocolKind::AtomicBcast)
+            .abcast(imp)
+            .trace(TRACE_CAPACITY)
+            .seed(29)
+            .build();
+        let run = WorkloadRun::new(cfg.clone(), 290 + n as u64);
+        let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(10));
+        assert!(report.quiesced, "{name}@{n} did not quiesce");
+        assert!(report.all_terminated(), "{name}@{n} wedged transactions");
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, &format!("{name}@{n}"));
+        let m = report.metrics;
+        let per_txn = report.messages as f64 / m.commits().max(1) as f64;
+        let cells = vec![
+            n.to_string(),
+            name.to_string(),
+            m.commits().to_string(),
+            report.messages.to_string(),
+            format!("{per_txn:.1}"),
+            format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+            format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+        ];
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
+    }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("a1_abcast_impl", &outcome, events);
+    ledger.finish();
 }

@@ -5,8 +5,12 @@
 //! shape: wait-die aborts more (every younger requester dies immediately)
 //! but keeps latencies slightly lower; wound-wait aborts fewer and favours
 //! old transactions.
+//!
+//! The `(keys, policy)` sweep runs on `BCASTDB_JOBS` worker threads; rows
+//! are assembled in config order, so the output is byte-identical at any
+//! job count.
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ConflictPolicy, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -23,7 +27,16 @@ fn main() {
             "mean_ms",
         ],
     );
+    let mut configs = Vec::new();
     for n_keys in [200usize, 50, 20, 10, 5] {
+        for (name, policy) in [
+            ("wound-wait", ConflictPolicy::WoundWait),
+            ("wait-die", ConflictPolicy::WaitDie),
+        ] {
+            configs.push((n_keys, name, policy));
+        }
+    }
+    let outcome = Sweep::from_env().run(configs, |&(n_keys, name, policy)| {
         let cfg = WorkloadConfig {
             n_keys,
             theta: 0.8,
@@ -31,36 +44,40 @@ fn main() {
             writes_per_txn: 2,
             ..WorkloadConfig::default()
         };
-        for (name, policy) in [
-            ("wound-wait", ConflictPolicy::WoundWait),
-            ("wait-die", ConflictPolicy::WaitDie),
-        ] {
-            let mut cluster = Cluster::builder()
-                .sites(5)
-                .protocol(ProtocolKind::ReliableBcast)
-                .policy(policy)
-                .trace(TRACE_CAPACITY)
-                .seed(31)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 310 + n_keys as u64);
-            let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
-            assert!(report.quiesced, "{name}@{n_keys} did not quiesce");
-            assert!(
-                report.all_terminated(),
-                "{name}@{n_keys} wedged transactions"
-            );
-            cluster.check_serializability().expect("serializable");
-            check_traced_run(&cluster, &format!("{name}@{n_keys}"));
-            let m = report.metrics;
-            table.row(&[
-                &n_keys,
-                &name,
-                &m.commits(),
-                &m.aborts(),
-                &f2(m.abort_rate()),
-                &format!("{:.3}", m.update_latency.mean().as_millis_f64()),
-            ]);
-        }
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(ProtocolKind::ReliableBcast)
+            .policy(policy)
+            .trace(TRACE_CAPACITY)
+            .seed(31)
+            .build();
+        let run = WorkloadRun::new(cfg, 310 + n_keys as u64);
+        let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
+        assert!(report.quiesced, "{name}@{n_keys} did not quiesce");
+        assert!(
+            report.all_terminated(),
+            "{name}@{n_keys} wedged transactions"
+        );
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, &format!("{name}@{n_keys}"));
+        let m = report.metrics;
+        let cells = vec![
+            n_keys.to_string(),
+            name.to_string(),
+            m.commits().to_string(),
+            m.aborts().to_string(),
+            f2(m.abort_rate()),
+            format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+        ];
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("a2_conflict_policy", &outcome, events);
+    ledger.finish();
 }

@@ -6,8 +6,12 @@
 //! loss costs an eager relay flood plus keep-alive/retransmission traffic.
 //! This ablation measures that price and verifies the guarantees survive
 //! actual loss.
+//!
+//! The `(protocol, loss, relay)` sweep runs on `BCASTDB_JOBS` worker
+//! threads; rows are assembled in config order, so the output is
+//! byte-identical at any job count.
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::{NetworkConfig, SimDuration};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -26,6 +30,7 @@ fn main() {
             "protocol", "loss", "relay", "commits", "aborts", "messages", "mean_ms",
         ],
     );
+    let mut configs = Vec::new();
     for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
         for (loss, relay) in [
             (0.0, false),
@@ -34,41 +39,53 @@ fn main() {
             (0.05, true),
             (0.10, true),
         ] {
-            let mut cluster = Cluster::builder()
-                .sites(4)
-                .protocol(proto)
-                .network(NetworkConfig::lan().with_loss(loss))
-                .relay(relay)
-                .trace(TRACE_CAPACITY)
-                .seed(83)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 830);
-            let report = run.open_loop(&mut cluster, 15, SimDuration::from_millis(8));
-            assert!(report.quiesced, "{proto}@loss{loss}");
-            assert!(
-                report.all_terminated(),
-                "{proto}@loss{loss} wedged transactions"
-            );
-            assert!(report.converged, "{proto}@loss{loss} diverged");
-            cluster
-                .check_serializability()
-                .unwrap_or_else(|v| panic!("{proto}@loss{loss}: {v}"));
-            check_traced_run(&cluster, &format!("{proto}@loss{loss}"));
-            let m = report.metrics;
-            table.row(&[
-                &proto.name(),
-                &format!("{:.0}%", loss * 100.0),
-                &relay,
-                &m.commits(),
-                &m.aborts(),
-                &report.messages,
-                &f2(m.update_latency.mean().as_millis_f64()),
-            ]);
+            configs.push((proto, loss, relay));
         }
+    }
+    let outcome = Sweep::from_env().run(configs, |&(proto, loss, relay)| {
+        let mut cluster = Cluster::builder()
+            .sites(4)
+            .protocol(proto)
+            .network(NetworkConfig::lan().with_loss(loss))
+            .relay(relay)
+            .trace(TRACE_CAPACITY)
+            .seed(83)
+            .build();
+        let run = WorkloadRun::new(cfg.clone(), 830);
+        let report = run.open_loop(&mut cluster, 15, SimDuration::from_millis(8));
+        assert!(report.quiesced, "{proto}@loss{loss}");
+        assert!(
+            report.all_terminated(),
+            "{proto}@loss{loss} wedged transactions"
+        );
+        assert!(report.converged, "{proto}@loss{loss} diverged");
+        cluster
+            .check_serializability()
+            .unwrap_or_else(|v| panic!("{proto}@loss{loss}: {v}"));
+        check_traced_run(&cluster, &format!("{proto}@loss{loss}"));
+        let m = report.metrics;
+        let cells = vec![
+            proto.name().to_string(),
+            format!("{:.0}%", loss * 100.0),
+            relay.to_string(),
+            m.commits().to_string(),
+            m.aborts().to_string(),
+            report.messages.to_string(),
+            f2(m.update_latency.mean().as_millis_f64()),
+        ];
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
     println!(
         "\nEvery lossy run stayed one-copy serializable with all replicas converged —\n\
          the relay flood plus origin-retransmission buys agreement under loss."
     );
+    let mut ledger = Ledger::new();
+    ledger.record("a3_loss_tolerance", &outcome, events);
+    ledger.finish();
 }

@@ -14,16 +14,19 @@
 //! `seg_order_wait_ms`. With `--trace-out <base.jsonl>` (or
 //! `BCASTDB_TRACE_OUT`) each run's full trace lands in
 //! `<base>-<protocol>-<sites>.jsonl` for `bcast-trace`.
+//!
+//! The `(sites, protocol)` sweep runs on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in config order, so the output is byte-identical
+//! at any job count.
 
 use bcastdb_bench::{
-    check_traced_run, segment_cells, segment_headers, trace_out_for, trace_out_path, Table,
-    TRACE_CAPACITY,
+    check_traced_run, segment_cells, segment_headers, trace_out_for, trace_out_path, Ledger, Sweep,
+    Table, TRACE_CAPACITY,
 };
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::telemetry::summarize;
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
-use std::fmt::Display;
 
 fn main() {
     let cfg = WorkloadConfig {
@@ -44,38 +47,52 @@ fn main() {
     headers.extend(segment_headers());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("f1_latency_vs_n", &header_refs);
+
+    let mut configs = Vec::new();
     for n in [3usize, 5, 7, 9, 13] {
         for proto in ProtocolKind::ALL {
-            let mut builder = Cluster::builder()
-                .sites(n)
-                .protocol(proto)
-                .trace(TRACE_CAPACITY)
-                .seed(7);
-            if let Some(base) = &trace_out {
-                builder = builder.trace_jsonl(trace_out_for(base, &format!("{proto}-{n}")));
-            }
-            let mut cluster = builder.build();
-            let run = WorkloadRun::new(cfg.clone(), 70 + n as u64);
-            let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
-            assert!(report.quiesced, "{proto}@{n} did not quiesce");
-            assert!(report.all_terminated(), "{proto}@{n} wedged transactions");
-            cluster.check_serializability().expect("serializable");
-            check_traced_run(&cluster, &format!("{proto}@{n}"));
-            let summary = summarize(cluster.txn_spans().values());
-            let m = report.metrics;
-            let name = proto.name();
-            let commits = m.commits();
-            let aborts = m.aborts();
-            let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
-            let p95 = format!("{:.3}", m.update_latency.p95().as_millis_f64());
-            let segs = segment_cells(&summary);
-            let mut cells: Vec<&dyn Display> = vec![&n, &name, &commits, &aborts, &mean, &p95];
-            cells.extend(segs.iter().map(|c| c as &dyn Display));
-            table.row(&cells);
-            if trace_out.is_some() {
-                cluster.finish_trace_jsonl().expect("trace flush");
-            }
+            configs.push((n, proto));
         }
     }
+    let outcome = Sweep::from_env().run(configs, |&(n, proto)| {
+        let mut builder = Cluster::builder()
+            .sites(n)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .seed(7);
+        if let Some(base) = &trace_out {
+            builder = builder.trace_jsonl(trace_out_for(base, &format!("{proto}-{n}")));
+        }
+        let mut cluster = builder.build();
+        let run = WorkloadRun::new(cfg.clone(), 70 + n as u64);
+        let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
+        assert!(report.quiesced, "{proto}@{n} did not quiesce");
+        assert!(report.all_terminated(), "{proto}@{n} wedged transactions");
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, &format!("{proto}@{n}"));
+        let summary = summarize(cluster.txn_spans().values());
+        let m = report.metrics;
+        let mut cells = vec![
+            n.to_string(),
+            proto.name().to_string(),
+            m.commits().to_string(),
+            m.aborts().to_string(),
+            format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+            format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+        ];
+        cells.extend(segment_cells(&summary));
+        if trace_out.is_some() {
+            cluster.finish_trace_jsonl().expect("trace flush");
+        }
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
+    }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("f1_latency_vs_n", &outcome, events);
+    ledger.finish();
 }

@@ -12,12 +12,15 @@
 //! `win_commits_*` columns show how commit throughput ramps over the run
 //! and `peak_tps` is the busiest window's rate — the sustained-vs-burst
 //! distinction a single `tps` number hides.
+//!
+//! The `(mpl, protocol)` sweep runs on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in config order, so the output is byte-identical
+//! at any job count (progress lines on stderr may interleave).
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
-use std::fmt::Display;
 
 /// Commit time-series bucket width.
 const WINDOW_MS: u64 = 50;
@@ -43,56 +46,68 @@ fn main() {
     headers.push("peak_tps".to_string());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("f2_throughput", &header_refs);
+    let mut configs = Vec::new();
     for mpl in [1usize, 2, 4, 8, 16] {
         for proto in ProtocolKind::ALL {
-            eprintln!("[f2] mpl={mpl} protocol={}", proto.name());
-            let mut cluster = Cluster::builder()
-                .sites(5)
-                .protocol(proto)
-                .trace(TRACE_CAPACITY)
-                .commit_window(SimDuration::from_millis(WINDOW_MS))
-                .seed(11)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 110 + mpl as u64);
-            let report = run.closed_loop(&mut cluster, mpl, 12);
-            assert!(report.quiesced, "{proto}@mpl{mpl} did not drain");
-            assert!(
-                report.all_terminated(),
-                "{proto}@mpl{mpl} wedged transactions"
-            );
-            cluster
-                .check_serializability()
-                .unwrap_or_else(|v| panic!("{proto}: {v}"));
-            check_traced_run(&cluster, &format!("{proto}@mpl{mpl}"));
-            let m = report.metrics;
-            let series = m
-                .commit_series
-                .as_ref()
-                .unwrap_or_else(|| panic!("{proto}@mpl{mpl}: commit series not recorded"));
-            assert_eq!(
-                series.total(),
-                m.commits(),
-                "{proto}@mpl{mpl}: commit series must account for every commit"
-            );
-            let buckets = series.buckets();
-            let windows: Vec<String> = (0..SHOWN_WINDOWS)
-                .map(|i| buckets.get(i).copied().unwrap_or(0).to_string())
-                .collect();
-            let peak_tps = series
-                .peak()
-                .map(|(_, c)| c as f64 * 1000.0 / WINDOW_MS as f64)
-                .unwrap_or(0.0);
-            let name = proto.name();
-            let commits = m.commits();
-            let aborts = m.aborts();
-            let tps = f2(report.throughput_tps);
-            let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
-            let peak = f2(peak_tps);
-            let mut cells: Vec<&dyn Display> = vec![&mpl, &name, &commits, &aborts, &tps, &mean];
-            cells.extend(windows.iter().map(|c| c as &dyn Display));
-            cells.push(&peak);
-            table.row(&cells);
+            configs.push((mpl, proto));
         }
     }
+    let outcome = Sweep::from_env().run(configs, |&(mpl, proto)| {
+        eprintln!("[f2] mpl={mpl} protocol={}", proto.name());
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .commit_window(SimDuration::from_millis(WINDOW_MS))
+            .seed(11)
+            .build();
+        let run = WorkloadRun::new(cfg.clone(), 110 + mpl as u64);
+        let report = run.closed_loop(&mut cluster, mpl, 12);
+        assert!(report.quiesced, "{proto}@mpl{mpl} did not drain");
+        assert!(
+            report.all_terminated(),
+            "{proto}@mpl{mpl} wedged transactions"
+        );
+        cluster
+            .check_serializability()
+            .unwrap_or_else(|v| panic!("{proto}: {v}"));
+        check_traced_run(&cluster, &format!("{proto}@mpl{mpl}"));
+        let m = report.metrics;
+        let series = m
+            .commit_series
+            .as_ref()
+            .unwrap_or_else(|| panic!("{proto}@mpl{mpl}: commit series not recorded"));
+        assert_eq!(
+            series.total(),
+            m.commits(),
+            "{proto}@mpl{mpl}: commit series must account for every commit"
+        );
+        let buckets = series.buckets();
+        let peak_tps = series
+            .peak()
+            .map(|(_, c)| c as f64 * 1000.0 / WINDOW_MS as f64)
+            .unwrap_or(0.0);
+        let mut cells = vec![
+            mpl.to_string(),
+            proto.name().to_string(),
+            m.commits().to_string(),
+            m.aborts().to_string(),
+            f2(report.throughput_tps),
+            format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+        ];
+        for i in 0..SHOWN_WINDOWS {
+            cells.push(buckets.get(i).copied().unwrap_or(0).to_string());
+        }
+        cells.push(f2(peak_tps));
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
+    }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("f2_throughput", &outcome, events);
+    ledger.finish();
 }

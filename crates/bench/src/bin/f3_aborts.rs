@@ -6,8 +6,12 @@
 //! contention rises; the baseline adds timeout (deadlock) aborts, the
 //! causal protocol converts conflicts into deterministic concurrent-loser
 //! aborts, and the atomic protocol into certification failures.
+//!
+//! The `(keys, protocol)` sweep runs on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in config order, so the output is byte-identical
+//! at any job count.
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -28,7 +32,13 @@ fn main() {
             "neg_vote",
         ],
     );
+    let mut configs = Vec::new();
     for n_keys in [1000usize, 100, 50, 20, 10, 5] {
+        for proto in ProtocolKind::ALL {
+            configs.push((n_keys, proto));
+        }
+    }
+    let outcome = Sweep::from_env().run(configs, |&(n_keys, proto)| {
         let cfg = WorkloadConfig {
             n_keys,
             theta: 0.8,
@@ -37,38 +47,45 @@ fn main() {
             readonly_fraction: 0.0,
             ..WorkloadConfig::default()
         };
-        for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder()
-                .sites(5)
-                .protocol(proto)
-                .trace(TRACE_CAPACITY)
-                .seed(13)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 130 + n_keys as u64);
-            let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
-            assert!(report.quiesced, "{proto}@{n_keys} did not quiesce");
-            assert!(
-                report.all_terminated(),
-                "{proto}@{n_keys} wedged transactions"
-            );
-            cluster
-                .check_serializability()
-                .unwrap_or_else(|v| panic!("{proto}: {v}"));
-            check_traced_run(&cluster, &format!("{proto}@{n_keys}"));
-            let m = report.metrics;
-            table.row(&[
-                &n_keys,
-                &proto.name(),
-                &m.commits(),
-                &m.aborts(),
-                &f2(m.abort_rate()),
-                &m.counters.get("abort_wounded"),
-                &m.counters.get("abort_concurrent"),
-                &m.counters.get("abort_certification"),
-                &m.counters.get("abort_timeout"),
-                &m.counters.get("abort_negative_vote"),
-            ]);
-        }
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .seed(13)
+            .build();
+        let run = WorkloadRun::new(cfg, 130 + n_keys as u64);
+        let report = run.open_loop(&mut cluster, 20, SimDuration::from_millis(4));
+        assert!(report.quiesced, "{proto}@{n_keys} did not quiesce");
+        assert!(
+            report.all_terminated(),
+            "{proto}@{n_keys} wedged transactions"
+        );
+        cluster
+            .check_serializability()
+            .unwrap_or_else(|v| panic!("{proto}: {v}"));
+        check_traced_run(&cluster, &format!("{proto}@{n_keys}"));
+        let m = report.metrics;
+        let cells = vec![
+            n_keys.to_string(),
+            proto.name().to_string(),
+            m.commits().to_string(),
+            m.aborts().to_string(),
+            f2(m.abort_rate()),
+            m.counters.get("abort_wounded").to_string(),
+            m.counters.get("abort_concurrent").to_string(),
+            m.counters.get("abort_certification").to_string(),
+            m.counters.get("abort_timeout").to_string(),
+            m.counters.get("abort_negative_vote").to_string(),
+        ];
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("f3_aborts", &outcome, events);
+    ledger.finish();
 }

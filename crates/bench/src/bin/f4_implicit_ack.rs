@@ -21,19 +21,35 @@
 //! columns decompose the commit latency from the reconstructed spans —
 //! the implicit-acknowledgement wait is the `seg_votes_ms` share, and it
 //! shrinks as traffic densifies or the keep-alive tick tightens.
+//!
+//! All three series run as one sweep on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in series order, so the output is byte-identical
+//! at any job count.
 
 use bcastdb_bench::{
     check_traced_run, check_traced_run_allowing_pending, phase_cells, phase_headers, segment_cells,
-    segment_headers, Table, TRACE_CAPACITY,
+    segment_headers, Ledger, Sweep, Table, TRACE_CAPACITY,
 };
 use bcastdb_core::TxnSpec;
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::telemetry::summarize;
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
-use std::fmt::Display;
 
-fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String, allow_pending: bool) {
+/// One probe-latency measurement: which series, and its swept parameter.
+#[derive(Debug, Clone, Copy)]
+enum Probe {
+    /// Background traffic with the given submission gap, keep-alives off.
+    TrafficGap { gap_ms: u64 },
+    /// Quiet cluster, keep-alives on with the given period.
+    NullPeriod { tick_ms: u64 },
+    /// The reliable protocol's explicit votes on the same quiet cluster.
+    ReliableReference,
+}
+
+/// Submits ten spread-out probe transactions at site 0, drains the
+/// cluster, and returns the finished table row.
+fn probe(cluster: &mut Cluster, label: &str, x: String, allow_pending: bool) -> (Vec<String>, u64) {
     // Ten probe transactions spread out at site 0, no key overlap with
     // background traffic.
     let mut ids = Vec::new();
@@ -56,14 +72,83 @@ fn probe(cluster: &mut Cluster, label: &str, table: &mut Table, x: String, allow
     }
     let m = cluster.metrics();
     let committed = ids.iter().filter(|t| cluster.is_committed(**t)).count();
-    let mean = format!("{:.3}", m.update_latency.mean().as_millis_f64());
-    let p95 = format!("{:.3}", m.update_latency.p95().as_millis_f64());
-    let phases = phase_cells(&cluster.phase_counts());
-    let segs = segment_cells(&summarize(cluster.txn_spans().values()));
-    let mut cells: Vec<&dyn Display> = vec![&label, &x, &committed, &mean, &p95];
-    cells.extend(phases.iter().map(|c| c as &dyn Display));
-    cells.extend(segs.iter().map(|c| c as &dyn Display));
-    table.row(&cells);
+    let mut cells = vec![
+        label.to_string(),
+        x,
+        committed.to_string(),
+        format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+        format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+    ];
+    cells.extend(phase_cells(&cluster.phase_counts()));
+    cells.extend(segment_cells(&summarize(cluster.txn_spans().values())));
+    (cells, cluster.events_processed())
+}
+
+fn run_probe(cfg: &Probe) -> (Vec<String>, u64) {
+    match *cfg {
+        Probe::TrafficGap { gap_ms } => {
+            let mut cluster = Cluster::builder()
+                .sites(5)
+                .protocol(ProtocolKind::CausalBcast)
+                .null_messages(false)
+                .trace(TRACE_CAPACITY)
+                .seed(17)
+                .build();
+            // Background: steady unrelated updates from sites 1..4.
+            let cfg = WorkloadConfig {
+                n_keys: 2000,
+                theta: 0.0,
+                reads_per_txn: 0,
+                writes_per_txn: 1,
+                ..WorkloadConfig::default()
+            };
+            let run = WorkloadRun::new(cfg, 170 + gap_ms);
+            // Schedule background first (probe shares the cluster run).
+            let zipf = run.config.sampler();
+            let mut rng = bcastdb_sim::DetRng::new(run.seed);
+            for site in 1..5 {
+                let mut at = SimTime::ZERO;
+                let mut site_rng = rng.fork(site as u64);
+                for _ in 0..40 {
+                    at += SimDuration::from_millis(gap_ms);
+                    let spec = run.config.gen_txn(&zipf, &mut site_rng);
+                    cluster.submit_at(at, SiteId(site), spec);
+                }
+            }
+            probe(
+                &mut cluster,
+                "traffic-gap(nulls-off)",
+                format!("{gap_ms}ms"),
+                true,
+            )
+        }
+        Probe::NullPeriod { tick_ms } => {
+            let mut cluster = Cluster::builder()
+                .sites(5)
+                .protocol(ProtocolKind::CausalBcast)
+                .tick_every(SimDuration::from_millis(tick_ms))
+                .trace(TRACE_CAPACITY)
+                .seed(18)
+                .build();
+            probe(
+                &mut cluster,
+                "null-period(quiet)",
+                format!("{tick_ms}ms"),
+                false,
+            )
+        }
+        Probe::ReliableReference => {
+            // Reference: the reliable protocol's explicit votes on the same
+            // quiet cluster (its latency does not depend on traffic at all).
+            let mut cluster = Cluster::builder()
+                .sites(5)
+                .protocol(ProtocolKind::ReliableBcast)
+                .trace(TRACE_CAPACITY)
+                .seed(19)
+                .build();
+            probe(&mut cluster, "reliable-reference", "-".into(), false)
+        }
+    }
 }
 
 fn main() {
@@ -76,78 +161,23 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("f4_implicit_ack", &header_refs);
 
-    // Sweep 1: background traffic density, nulls OFF.
+    let mut configs = Vec::new();
     for gap_ms in [2u64, 5, 10, 20, 50] {
-        let mut cluster = Cluster::builder()
-            .sites(5)
-            .protocol(ProtocolKind::CausalBcast)
-            .null_messages(false)
-            .trace(TRACE_CAPACITY)
-            .seed(17)
-            .build();
-        // Background: steady unrelated updates from sites 1..4.
-        let cfg = WorkloadConfig {
-            n_keys: 2000,
-            theta: 0.0,
-            reads_per_txn: 0,
-            writes_per_txn: 1,
-            ..WorkloadConfig::default()
-        };
-        let run = WorkloadRun::new(cfg, 170 + gap_ms);
-        // Schedule background first (probe shares the cluster run).
-        let zipf = run.config.sampler();
-        let mut rng = bcastdb_sim::DetRng::new(run.seed);
-        for site in 1..5 {
-            let mut at = SimTime::ZERO;
-            let mut site_rng = rng.fork(site as u64);
-            for _ in 0..40 {
-                at += SimDuration::from_millis(gap_ms);
-                let spec = run.config.gen_txn(&zipf, &mut site_rng);
-                cluster.submit_at(at, SiteId(site), spec);
-            }
-        }
-        probe(
-            &mut cluster,
-            "traffic-gap(nulls-off)",
-            &mut table,
-            format!("{gap_ms}ms"),
-            true,
-        );
+        configs.push(Probe::TrafficGap { gap_ms });
     }
-
-    // Sweep 2: quiet cluster, nulls ON, varying the keep-alive period.
     for tick_ms in [1u64, 2, 5, 10, 20, 50] {
-        let mut cluster = Cluster::builder()
-            .sites(5)
-            .protocol(ProtocolKind::CausalBcast)
-            .tick_every(SimDuration::from_millis(tick_ms))
-            .trace(TRACE_CAPACITY)
-            .seed(18)
-            .build();
-        probe(
-            &mut cluster,
-            "null-period(quiet)",
-            &mut table,
-            format!("{tick_ms}ms"),
-            false,
-        );
+        configs.push(Probe::NullPeriod { tick_ms });
     }
+    configs.push(Probe::ReliableReference);
 
-    // Reference: the reliable protocol's explicit votes on the same quiet
-    // cluster (its latency does not depend on traffic at all).
-    let mut cluster = Cluster::builder()
-        .sites(5)
-        .protocol(ProtocolKind::ReliableBcast)
-        .trace(TRACE_CAPACITY)
-        .seed(19)
-        .build();
-    probe(
-        &mut cluster,
-        "reliable-reference",
-        &mut table,
-        "-".into(),
-        false,
-    );
-
+    let outcome = Sweep::from_env().run(configs, run_probe);
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
+    }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("f4_implicit_ack", &outcome, events);
+    ledger.finish();
 }

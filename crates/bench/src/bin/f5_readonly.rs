@@ -8,8 +8,12 @@
 //! Reported per protocol as the read-only fraction grows: throughput,
 //! read-only commit latency, and read-only aborts (nonzero only for the
 //! atomic protocol under contention).
+//!
+//! The `(ro_frac, protocol)` sweep runs on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in config order, so the output is byte-identical
+//! at any job count.
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
@@ -28,7 +32,13 @@ fn main() {
             "tps",
         ],
     );
+    let mut configs = Vec::new();
     for ro in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        for proto in ProtocolKind::ALL {
+            configs.push((ro, proto));
+        }
+    }
+    let outcome = Sweep::from_env().run(configs, |&(ro, proto)| {
         let cfg = WorkloadConfig {
             n_keys: 40,
             theta: 0.9,
@@ -37,38 +47,41 @@ fn main() {
             reads_per_ro_txn: 6,
             readonly_fraction: ro,
         };
-        for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder()
-                .sites(5)
-                .protocol(proto)
-                // Clients issue reads sequentially (1ms think time): read
-                // phases overlap remote applies, which is where the
-                // protocols' read-only guarantees actually differ.
-                .think_time(bcastdb_sim::SimDuration::from_millis(1))
-                .trace(TRACE_CAPACITY)
-                .seed(23)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 230 + (ro * 100.0) as u64);
-            let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(3));
-            assert!(report.quiesced, "{proto}@{ro} did not quiesce");
-            assert!(report.all_terminated(), "{proto}@{ro} wedged transactions");
-            cluster
-                .check_serializability()
-                .unwrap_or_else(|v| panic!("{proto}: {v}"));
-            check_traced_run(&cluster, &format!("{proto}@ro{ro}"));
-            let m = report.metrics;
-            let ro_aborted = m.counters.get("aborts_readonly");
-            table.row(&[
-                &format!("{ro:.2}"),
-                &proto.name(),
-                &m.commits(),
-                &m.counters.get("commits_readonly"),
-                &m.aborts(),
-                &ro_aborted,
-                &format!("{:.3}", m.readonly_latency.mean().as_millis_f64()),
-                &f2(report.throughput_tps),
-            ]);
-        }
+        let mut cluster = Cluster::builder()
+            .sites(5)
+            .protocol(proto)
+            // Clients issue reads sequentially (1ms think time): read
+            // phases overlap remote applies, which is where the
+            // protocols' read-only guarantees actually differ.
+            .think_time(bcastdb_sim::SimDuration::from_millis(1))
+            .trace(TRACE_CAPACITY)
+            .seed(23)
+            .build();
+        let run = WorkloadRun::new(cfg, 230 + (ro * 100.0) as u64);
+        let report = run.open_loop(&mut cluster, 25, SimDuration::from_millis(3));
+        assert!(report.quiesced, "{proto}@{ro} did not quiesce");
+        assert!(report.all_terminated(), "{proto}@{ro} wedged transactions");
+        cluster
+            .check_serializability()
+            .unwrap_or_else(|v| panic!("{proto}: {v}"));
+        check_traced_run(&cluster, &format!("{proto}@ro{ro}"));
+        let m = report.metrics;
+        let cells = vec![
+            format!("{ro:.2}"),
+            proto.name().to_string(),
+            m.commits().to_string(),
+            m.counters.get("commits_readonly").to_string(),
+            m.aborts().to_string(),
+            m.counters.get("aborts_readonly").to_string(),
+            format!("{:.3}", m.readonly_latency.mean().as_millis_f64()),
+            f2(report.throughput_tps),
+        ];
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
     println!(
@@ -76,4 +89,7 @@ fn main() {
          read-only transaction commits; only the atomic protocol trades read-only\n\
          stability for acknowledgement-free commitment."
     );
+    let mut ledger = Ledger::new();
+    ledger.record("f5_readonly", &outcome, events);
+    ledger.finish();
 }

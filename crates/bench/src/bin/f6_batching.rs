@@ -21,8 +21,13 @@
 //!
 //! Set `BCASTDB_F6_SMOKE=1` for a fast CI-sized run (fewer transactions,
 //! same assertions).
+//!
+//! The `(protocol, window)` runs execute on `BCASTDB_JOBS` worker
+//! threads; the baseline comparisons and rows are evaluated afterwards in
+//! config order, so the output (and every assertion) is identical at any
+//! job count.
 
-use bcastdb_bench::{check_traced_run, f2, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, f2, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind, TxnSpec};
 use bcastdb_sim::telemetry::PhaseCounts;
 use bcastdb_sim::{NetworkConfig, SimDuration, SimTime, SiteId};
@@ -50,6 +55,7 @@ struct RunStats {
     batches: u64,
     bytes: u64,
     mean_lat_ms: f64,
+    events: u64,
 }
 
 impl RunStats {
@@ -98,6 +104,7 @@ fn run_once(proto: ProtocolKind, window_us: Option<u64>, txns: u64, sites: usize
         batches: m.wire_batches(),
         bytes: m.counters.get("wire_batched_bytes"),
         mean_lat_ms: m.update_latency.mean().as_millis_f64(),
+        events: c.events_processed(),
     }
 }
 
@@ -120,77 +127,90 @@ fn main() {
             "reduction",
         ],
     );
+    let mut configs = Vec::new();
     for proto in ProtocolKind::ALL {
-        let mut baseline: Option<RunStats> = None;
         for window_us in WINDOWS_US {
-            eprintln!("[f6] protocol={} window={window_us:?}", proto.name());
-            let stats = run_once(proto, window_us, txns, sites);
-            match (&baseline, window_us) {
-                (None, None) => {
-                    assert_eq!(stats.batches, 0, "{proto}: unbatched run recorded batches");
-                    assert_eq!(
-                        stats.wire, stats.logical,
-                        "{proto}: without batching the network carries each logical message"
+            configs.push((proto, window_us));
+        }
+    }
+    let outcome = Sweep::from_env().run(configs.clone(), |&(proto, window_us)| {
+        eprintln!("[f6] protocol={} window={window_us:?}", proto.name());
+        run_once(proto, window_us, txns, sites)
+    });
+
+    // The baseline comparisons run on the collected results, in config
+    // order: each protocol's unbatched run comes first and anchors the
+    // assertions for its batched runs.
+    let mut events = 0u64;
+    let mut baseline: Option<&RunStats> = None;
+    for ((proto, window_us), stats) in configs.iter().zip(&outcome.results) {
+        let proto = *proto;
+        events += stats.events;
+        match (&baseline, window_us) {
+            (_, None) => {
+                assert_eq!(stats.batches, 0, "{proto}: unbatched run recorded batches");
+                assert_eq!(
+                    stats.wire, stats.logical,
+                    "{proto}: without batching the network carries each logical message"
+                );
+                baseline = None;
+            }
+            (Some(off), Some(us)) => {
+                // The invariant the whole design hangs on: batching
+                // must be invisible to the protocol layer. Null
+                // keep-alives are excluded — see [`RunStats::nulls`].
+                assert_eq!(
+                    off.protocol_phases(),
+                    stats.protocol_phases(),
+                    "{proto}@{us}us: logical per-phase counts changed under batching"
+                );
+                assert_eq!(
+                    off.commits, stats.commits,
+                    "{proto}@{us}us: outcomes changed under batching"
+                );
+                assert_eq!(
+                    stats.wire, stats.batches,
+                    "{proto}@{us}us: every batched-run transmission is an envelope"
+                );
+                assert_eq!(
+                    stats.logical,
+                    stats.phases.total(),
+                    "{proto}@{us}us: per-kind and per-phase totals must agree"
+                );
+                if *us == WINDOWS_US.iter().flatten().max().copied().unwrap_or(0) {
+                    assert!(
+                        stats.wire * 2 <= off.wire,
+                        "{proto}@{us}us: expected >= 2x wire reduction, got {} vs {}",
+                        stats.wire,
+                        off.wire
                     );
                 }
-                (Some(off), Some(us)) => {
-                    // The invariant the whole design hangs on: batching
-                    // must be invisible to the protocol layer. Null
-                    // keep-alives are excluded — see [`RunStats::nulls`].
-                    assert_eq!(
-                        off.protocol_phases(),
-                        stats.protocol_phases(),
-                        "{proto}@{us}us: logical per-phase counts changed under batching"
-                    );
-                    assert_eq!(
-                        off.commits, stats.commits,
-                        "{proto}@{us}us: outcomes changed under batching"
-                    );
-                    assert_eq!(
-                        stats.wire, stats.batches,
-                        "{proto}@{us}us: every batched-run transmission is an envelope"
-                    );
-                    assert_eq!(
-                        stats.logical,
-                        stats.phases.total(),
-                        "{proto}@{us}us: per-kind and per-phase totals must agree"
-                    );
-                    if us == WINDOWS_US.iter().flatten().max().copied().unwrap_or(0) {
-                        assert!(
-                            stats.wire * 2 <= off.wire,
-                            "{proto}@{us}us: expected >= 2x wire reduction, got {} vs {}",
-                            stats.wire,
-                            off.wire
-                        );
-                    }
-                }
-                _ => unreachable!("baseline row runs first"),
             }
-            let name = proto.name();
-            let window = window_us.map_or_else(|| "off".to_string(), |us| us.to_string());
-            let reduction = baseline.as_ref().map_or_else(
-                || "1.00".to_string(),
-                |off| f2(off.wire as f64 / stats.wire as f64),
-            );
-            let kb = f2(stats.bytes as f64 / 1024.0);
-            let mean = format!("{:.3}", stats.mean_lat_ms);
-            let cells: [&dyn std::fmt::Display; 10] = [
-                &name,
-                &window,
-                &stats.commits,
-                &stats.aborts,
-                &stats.logical,
-                &stats.wire,
-                &stats.batches,
-                &kb,
-                &mean,
-                &reduction,
-            ];
-            table.row(&cells);
-            if baseline.is_none() {
-                baseline = Some(stats);
-            }
+            _ => unreachable!("baseline row runs first"),
+        }
+        let window = window_us.map_or_else(|| "off".to_string(), |us| us.to_string());
+        let reduction = baseline.map_or_else(
+            || "1.00".to_string(),
+            |off| f2(off.wire as f64 / stats.wire as f64),
+        );
+        table.row_strings(&[
+            proto.name().to_string(),
+            window,
+            stats.commits.to_string(),
+            stats.aborts.to_string(),
+            stats.logical.to_string(),
+            stats.wire.to_string(),
+            stats.batches.to_string(),
+            f2(stats.bytes as f64 / 1024.0),
+            format!("{:.3}", stats.mean_lat_ms),
+            reduction,
+        ]);
+        if baseline.is_none() {
+            baseline = Some(stats);
         }
     }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("f6_batching", &outcome, events);
+    ledger.finish();
 }

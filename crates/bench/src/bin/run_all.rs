@@ -1,0 +1,107 @@
+//! **run_all — drive every experiment and write the perf ledger.**
+//!
+//! Replaces the shell for-loop in EXPERIMENTS.md: runs all twelve
+//! experiment binaries in their canonical order, mirrors each table to
+//! `$BCASTDB_RESULTS_DIR` (default `results/`), concatenates their stdout
+//! into `experiments_output.txt`, and writes the wall-clock perf ledger
+//! `BENCH_wallclock.json` at the repository root.
+//!
+//! ```console
+//! $ cargo run --release -p bcastdb-bench --bin run_all
+//! $ BCASTDB_JOBS=8 cargo run --release -p bcastdb-bench --bin run_all
+//! ```
+//!
+//! Each experiment binary parallelises its own `(config, seed)` sweep
+//! across `BCASTDB_JOBS` worker threads (default: available parallelism)
+//! and reports per-sweep timings through the `BCASTDB_BENCH_LEDGER` relay
+//! file; this driver aggregates them. The experiments themselves run
+//! sequentially — their outputs (console, CSV, trace files) are therefore
+//! byte-identical to the old for-loop at any job count.
+
+use bcastdb_bench::{jobs_from_env, read_ledger_relay, write_wallclock_json};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// The experiment binaries, in the canonical EXPERIMENTS.md order.
+const EXPERIMENTS: [&str; 12] = [
+    "t1_messages",
+    "t2_failures",
+    "t3_latency_breakdown",
+    "f1_latency_vs_n",
+    "f2_throughput",
+    "f3_aborts",
+    "f4_implicit_ack",
+    "f5_readonly",
+    "f6_batching",
+    "a1_abcast_impl",
+    "a2_conflict_policy",
+    "a3_loss_tolerance",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(PathBuf::from))
+        .expect("locate the build directory of the experiment binaries");
+    let results_dir =
+        std::env::var("BCASTDB_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let relay = std::env::temp_dir().join(format!("bcastdb-ledger-{}.tsv", std::process::id()));
+    let _ = std::fs::remove_file(&relay);
+
+    let jobs = jobs_from_env();
+    eprintln!(
+        "[run_all] {} experiments, {jobs} sweep worker(s), results -> {results_dir}/",
+        EXPERIMENTS.len()
+    );
+
+    let mut output = Vec::new();
+    for bin in EXPERIMENTS {
+        let path = exe_dir.join(bin);
+        eprintln!("[run_all] {bin}");
+        let out = Command::new(&path)
+            .env("BCASTDB_RESULTS_DIR", &results_dir)
+            .env("BCASTDB_BENCH_LEDGER", &relay)
+            .stdout(Stdio::piped())
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {}: {e}", path.display()));
+        assert!(
+            out.status.success(),
+            "{bin} failed with {}; stderr above",
+            out.status
+        );
+        // Echo to the console and keep the bytes for the transcript file —
+        // concatenated child stdout is exactly what the old shell loop
+        // redirected into experiments_output.txt.
+        std::io::stdout()
+            .write_all(&out.stdout)
+            .expect("echo experiment output");
+        output.extend_from_slice(&out.stdout);
+    }
+    std::fs::write("experiments_output.txt", &output).expect("write experiments_output.txt");
+
+    let entries = read_ledger_relay(&relay);
+    let _ = std::fs::remove_file(&relay);
+    assert!(
+        !entries.is_empty(),
+        "no ledger entries collected — experiment binaries out of date?"
+    );
+    write_wallclock_json(std::path::Path::new("BENCH_wallclock.json"), &entries)
+        .expect("write BENCH_wallclock.json");
+
+    let total_wall: f64 = entries.iter().map(|e| e.wall_ms).sum();
+    let total_serial: f64 = entries.iter().map(|e| e.runs_wall_ms).sum();
+    let speedup = if total_wall > 0.0 {
+        total_serial / total_wall
+    } else {
+        1.0
+    };
+    eprintln!(
+        "[run_all] done: {} sweeps, {:.1}s wall ({:.1}s serial-equivalent, {:.2}x with {jobs} \
+         job(s)) — ledger in BENCH_wallclock.json, transcript in experiments_output.txt",
+        entries.len(),
+        total_wall / 1000.0,
+        total_serial / 1000.0,
+        speedup,
+    );
+}

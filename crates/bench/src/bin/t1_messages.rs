@@ -18,12 +18,17 @@
 //! next to the analytic values, decomposed per protocol phase (prepare /
 //! vote / ack / decision / retransmit / membership) so the table shows
 //! *where* each protocol spends its messages, not just how many.
+//!
+//! Both `(sites, protocol)` sweeps run on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in config order, so the output is byte-identical
+//! at any job count.
 
-use bcastdb_bench::{check_traced_run, phase_cells, phase_headers, Table, TRACE_CAPACITY};
+use bcastdb_bench::{
+    check_traced_run, phase_cells, phase_headers, Ledger, Sweep, Table, TRACE_CAPACITY,
+};
 use bcastdb_core::{Cluster, ProtocolKind, TxnSpec};
 use bcastdb_sim::{SimDuration, SiteId};
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
-use std::fmt::Display;
 
 const WRITES: usize = 2;
 
@@ -37,41 +42,54 @@ fn analytic(proto: ProtocolKind, n: u64, w: u64) -> u64 {
 }
 
 fn main() {
+    let mut configs = Vec::new();
+    for n in [3usize, 5, 7, 9, 13] {
+        for proto in ProtocolKind::ALL {
+            configs.push((n, proto));
+        }
+    }
+
     let mut headers = vec!["sites", "protocol", "analytic", "measured", "per-site"];
     headers.extend(phase_headers());
     let mut table = Table::new("t1_messages", &headers);
-    for n in [3usize, 5, 7, 9, 13] {
-        for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder()
-                .sites(n)
-                .protocol(proto)
-                .trace(TRACE_CAPACITY)
-                .seed(1)
-                .build();
-            // One update transaction with WRITES writes from a
-            // non-coordinator site.
-            let mut spec = TxnSpec::new().read("r0");
-            for i in 0..WRITES {
-                spec = spec.write(format!("w{i}").as_str(), i as i64);
-            }
-            let id = cluster.submit(SiteId(1), spec);
-            cluster.run_to_quiescence();
-            assert!(cluster.is_committed(id), "{proto}@{n}: txn failed");
-            cluster.check_serializability().expect("serializable");
-            check_traced_run(&cluster, &format!("{proto}@{n}"));
-            let measured = cluster.messages_sent();
-            let pc = cluster.phase_counts();
-            // Lossless network: the per-phase totals account for every
-            // message the network carried.
-            assert_eq!(pc.total(), measured, "{proto}@{n}: phase accounting leak");
-            let name = proto.name();
-            let a = analytic(proto, n as u64, WRITES as u64);
-            let per_site = format!("{:.1}", measured as f64 / n as f64);
-            let phases = phase_cells(&pc);
-            let mut cells: Vec<&dyn Display> = vec![&n, &name, &a, &measured, &per_site];
-            cells.extend(phases.iter().map(|c| c as &dyn Display));
-            table.row(&cells);
+    let single = Sweep::from_env().run(configs.clone(), |&(n, proto)| {
+        let mut cluster = Cluster::builder()
+            .sites(n)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .seed(1)
+            .build();
+        // One update transaction with WRITES writes from a
+        // non-coordinator site.
+        let mut spec = TxnSpec::new().read("r0");
+        for i in 0..WRITES {
+            spec = spec.write(format!("w{i}").as_str(), i as i64);
         }
+        let id = cluster.submit(SiteId(1), spec);
+        cluster.run_to_quiescence();
+        assert!(cluster.is_committed(id), "{proto}@{n}: txn failed");
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, &format!("{proto}@{n}"));
+        let measured = cluster.messages_sent();
+        let pc = cluster.phase_counts();
+        // Lossless network: the per-phase totals account for every
+        // message the network carried.
+        assert_eq!(pc.total(), measured, "{proto}@{n}: phase accounting leak");
+        let a = analytic(proto, n as u64, WRITES as u64);
+        let mut cells = vec![
+            n.to_string(),
+            proto.name().to_string(),
+            a.to_string(),
+            measured.to_string(),
+            format!("{:.1}", measured as f64 / n as f64),
+        ];
+        cells.extend(phase_cells(&pc));
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &single.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
     println!(
@@ -91,27 +109,38 @@ fn main() {
         writes_per_txn: WRITES,
         ..WorkloadConfig::default()
     };
-    for n in [3usize, 5, 7, 9, 13] {
-        for proto in ProtocolKind::ALL {
-            let mut cluster = Cluster::builder()
-                .sites(n)
-                .protocol(proto)
-                .trace(TRACE_CAPACITY)
-                .seed(2)
-                .build();
-            let run = WorkloadRun::new(cfg.clone(), 20 + n as u64);
-            let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(5));
-            assert!(report.quiesced, "{proto}@{n}");
-            cluster.check_serializability().expect("serializable");
-            check_traced_run(&cluster, &format!("{proto}@{n} amortized"));
-            let done = report.metrics.commits() + report.metrics.aborts();
-            let name = proto.name();
-            let per_txn = format!("{:.1}", report.messages as f64 / done.max(1) as f64);
-            let phases = phase_cells(&cluster.phase_counts());
-            let mut cells: Vec<&dyn Display> = vec![&n, &name, &done, &report.messages, &per_txn];
-            cells.extend(phases.iter().map(|c| c as &dyn Display));
-            table.row(&cells);
-        }
+    let amortized = Sweep::from_env().run(configs, |&(n, proto)| {
+        let mut cluster = Cluster::builder()
+            .sites(n)
+            .protocol(proto)
+            .trace(TRACE_CAPACITY)
+            .seed(2)
+            .build();
+        let run = WorkloadRun::new(cfg.clone(), 20 + n as u64);
+        let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(5));
+        assert!(report.quiesced, "{proto}@{n}");
+        cluster.check_serializability().expect("serializable");
+        check_traced_run(&cluster, &format!("{proto}@{n} amortized"));
+        let done = report.metrics.commits() + report.metrics.aborts();
+        let mut cells = vec![
+            n.to_string(),
+            proto.name().to_string(),
+            done.to_string(),
+            report.messages.to_string(),
+            format!("{:.1}", report.messages as f64 / done.max(1) as f64),
+        ];
+        cells.extend(phase_cells(&cluster.phase_counts()));
+        (cells, cluster.events_processed())
+    });
+    let mut amortized_events = 0u64;
+    for (cells, ev) in &amortized.results {
+        table.row_strings(cells);
+        amortized_events += ev;
     }
     table.emit();
+
+    let mut ledger = Ledger::new();
+    ledger.record("t1_messages", &single, events);
+    ledger.record("t1_messages_amortized", &amortized, amortized_events);
+    ledger.finish();
 }

@@ -9,8 +9,13 @@
 //! - in-flight transactions aborted by the view change,
 //! - commits after the crash (the majority keeps going),
 //! - and the blocked state of a minority partition.
+//!
+//! The per-protocol crash scenarios (and the minority-partition run) are
+//! independent clusters and execute on `BCASTDB_JOBS` worker threads;
+//! rows are assembled in scenario order, so the output is byte-identical
+//! at any job count.
 
-use bcastdb_bench::{check_traced_run, Table, TRACE_CAPACITY};
+use bcastdb_bench::{check_traced_run, Ledger, Sweep, Table, TRACE_CAPACITY};
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::DetRng;
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
@@ -19,101 +24,88 @@ use bcastdb_workload::WorkloadConfig;
 const N: usize = 5;
 const CRASH_AT_US: u64 = 200_000;
 
-fn main() {
-    let mut table = Table::new(
-        "t2_failures",
-        &[
-            "protocol",
-            "pre_commits",
-            "view_change_ms",
-            "aborted_by_view",
-            "post_commits",
-            "survivors_serializable",
-        ],
-    );
-    for proto in [
-        ProtocolKind::ReliableBcast,
-        ProtocolKind::CausalBcast,
-        ProtocolKind::AtomicBcast,
-    ] {
-        let mut cluster = Cluster::builder()
-            .sites(N)
-            .protocol(proto)
-            .seed(37)
-            .membership(true)
-            .suspect_after(SimDuration::from_millis(60))
-            .trace(TRACE_CAPACITY)
-            .build();
-        let cfg = WorkloadConfig {
-            n_keys: 300,
-            theta: 0.5,
-            reads_per_txn: 1,
-            writes_per_txn: 2,
-            ..WorkloadConfig::default()
-        };
-        let zipf = cfg.sampler();
-        let mut rng = DetRng::new(370);
-        // Pre-crash load on all sites.
-        for site in 0..N {
-            let mut at = SimTime::from_micros(1_000);
-            let mut site_rng = rng.fork(site as u64);
-            for _ in 0..10 {
-                at += SimDuration::from_millis(15);
-                cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
-            }
+/// Crashes site `N-1` mid-run under `proto` and returns the table row.
+fn crash_run(proto: ProtocolKind) -> (Vec<String>, u64) {
+    let mut cluster = Cluster::builder()
+        .sites(N)
+        .protocol(proto)
+        .seed(37)
+        .membership(true)
+        .suspect_after(SimDuration::from_millis(60))
+        .trace(TRACE_CAPACITY)
+        .build();
+    let cfg = WorkloadConfig {
+        n_keys: 300,
+        theta: 0.5,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let zipf = cfg.sampler();
+    let mut rng = DetRng::new(370);
+    // Pre-crash load on all sites.
+    for site in 0..N {
+        let mut at = SimTime::from_micros(1_000);
+        let mut site_rng = rng.fork(site as u64);
+        for _ in 0..10 {
+            at += SimDuration::from_millis(15);
+            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
         }
-        cluster.run_until(SimTime::from_micros(CRASH_AT_US));
-        let pre_commits = cluster.metrics().commits();
-
-        cluster.crash(SiteId(N - 1));
-        // Run until every survivor has evicted the crashed site.
-        let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
-        loop {
-            view_change_done += SimDuration::from_millis(5);
-            cluster.run_until(view_change_done);
-            let all_evicted = (0..N - 1).all(|s| {
-                !cluster
-                    .replica(SiteId(s))
-                    .view_members()
-                    .contains(&SiteId(N - 1))
-            });
-            if all_evicted {
-                break;
-            }
-            assert!(
-                view_change_done < SimTime::from_micros(CRASH_AT_US + 2_000_000),
-                "{proto}: view change never completed"
-            );
-        }
-        let view_change_ms = (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
-        let aborted_by_view = cluster.metrics().counters.get("abort_view_change");
-
-        // Post-crash load on the survivors.
-        for site in 0..N - 1 {
-            let mut at = view_change_done + SimDuration::from_millis(5);
-            let mut site_rng = rng.fork(100 + site as u64);
-            for _ in 0..10 {
-                at += SimDuration::from_millis(15);
-                cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
-            }
-        }
-        cluster.run_until(view_change_done + SimDuration::from_secs(2));
-        let post_commits = cluster.metrics().commits() - pre_commits;
-        let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
-        let serializable = cluster.check_serializability_among(&survivors).is_ok();
-        check_traced_run(&cluster, &format!("{proto} crash run"));
-
-        table.row(&[
-            &proto.name(),
-            &pre_commits,
-            &format!("{view_change_ms:.1}"),
-            &aborted_by_view,
-            &post_commits,
-            &serializable,
-        ]);
     }
+    cluster.run_until(SimTime::from_micros(CRASH_AT_US));
+    let pre_commits = cluster.metrics().commits();
 
-    // Minority partition: 2 of 5 sites must block.
+    cluster.crash(SiteId(N - 1));
+    // Run until every survivor has evicted the crashed site.
+    let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
+    loop {
+        view_change_done += SimDuration::from_millis(5);
+        cluster.run_until(view_change_done);
+        let all_evicted = (0..N - 1).all(|s| {
+            !cluster
+                .replica(SiteId(s))
+                .view_members()
+                .contains(&SiteId(N - 1))
+        });
+        if all_evicted {
+            break;
+        }
+        assert!(
+            view_change_done < SimTime::from_micros(CRASH_AT_US + 2_000_000),
+            "{proto}: view change never completed"
+        );
+    }
+    let view_change_ms = (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
+    let aborted_by_view = cluster.metrics().counters.get("abort_view_change");
+
+    // Post-crash load on the survivors.
+    for site in 0..N - 1 {
+        let mut at = view_change_done + SimDuration::from_millis(5);
+        let mut site_rng = rng.fork(100 + site as u64);
+        for _ in 0..10 {
+            at += SimDuration::from_millis(15);
+            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+        }
+    }
+    cluster.run_until(view_change_done + SimDuration::from_secs(2));
+    let post_commits = cluster.metrics().commits() - pre_commits;
+    let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
+    let serializable = cluster.check_serializability_among(&survivors).is_ok();
+    check_traced_run(&cluster, &format!("{proto} crash run"));
+
+    let cells = vec![
+        proto.name().to_string(),
+        pre_commits.to_string(),
+        format!("{view_change_ms:.1}"),
+        aborted_by_view.to_string(),
+        post_commits.to_string(),
+        serializable.to_string(),
+    ];
+    (cells, cluster.events_processed())
+}
+
+/// Crashes 3 of 5 sites and returns whether the minority blocked.
+fn minority_run() -> (bool, u64) {
     let mut cluster = Cluster::builder()
         .sites(N)
         .protocol(ProtocolKind::ReliableBcast)
@@ -129,7 +121,68 @@ fn main() {
     cluster.run_until(SimTime::from_micros(600_000));
     let blocked = (0..2).all(|s| !cluster.replica(SiteId(s)).is_operational());
     check_traced_run(&cluster, "minority partition");
+    (blocked, cluster.events_processed())
+}
+
+/// One independent failure scenario.
+#[derive(Debug, Clone, Copy)]
+enum Scenario {
+    Crash(ProtocolKind),
+    MinorityPartition,
+}
+
+enum ScenarioResult {
+    Row(Vec<String>, u64),
+    Blocked(bool, u64),
+}
+
+fn main() {
+    let mut table = Table::new(
+        "t2_failures",
+        &[
+            "protocol",
+            "pre_commits",
+            "view_change_ms",
+            "aborted_by_view",
+            "post_commits",
+            "survivors_serializable",
+        ],
+    );
+    let configs = vec![
+        Scenario::Crash(ProtocolKind::ReliableBcast),
+        Scenario::Crash(ProtocolKind::CausalBcast),
+        Scenario::Crash(ProtocolKind::AtomicBcast),
+        Scenario::MinorityPartition,
+    ];
+    let outcome = Sweep::from_env().run(configs, |&scenario| match scenario {
+        Scenario::Crash(proto) => {
+            let (cells, events) = crash_run(proto);
+            ScenarioResult::Row(cells, events)
+        }
+        Scenario::MinorityPartition => {
+            let (blocked, events) = minority_run();
+            ScenarioResult::Blocked(blocked, events)
+        }
+    });
+    let mut events = 0u64;
+    let mut minority_blocked = None;
+    for r in &outcome.results {
+        match r {
+            ScenarioResult::Row(cells, ev) => {
+                table.row_strings(cells);
+                events += ev;
+            }
+            ScenarioResult::Blocked(blocked, ev) => {
+                minority_blocked = Some(*blocked);
+                events += ev;
+            }
+        }
+    }
     table.emit();
+    let blocked = minority_blocked.expect("minority scenario ran");
     println!("\nminority partition (2 of 5 survivors): blocked = {blocked}");
     assert!(blocked, "a minority view must not remain operational");
+    let mut ledger = Ledger::new();
+    ledger.record("t2_failures", &outcome, events);
+    ledger.finish();
 }

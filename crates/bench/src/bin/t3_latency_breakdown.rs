@@ -17,16 +17,19 @@
 //! With `--trace-out <base.jsonl>` (or `BCASTDB_TRACE_OUT`), each
 //! protocol's full trace is written to `<base>-<protocol>.jsonl` for
 //! `bcast-trace` to consume.
+//!
+//! The per-protocol runs execute on `BCASTDB_JOBS` worker threads; rows
+//! are assembled in protocol order, so the output is byte-identical at
+//! any job count.
 
 use bcastdb_bench::{
-    check_traced_run, f2, segment_cells, segment_headers, trace_out_for, trace_out_path, Table,
-    TRACE_CAPACITY,
+    check_traced_run, f2, segment_cells, segment_headers, trace_out_for, trace_out_path, Ledger,
+    Sweep, Table, TRACE_CAPACITY,
 };
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::telemetry::summarize;
 use bcastdb_sim::SimDuration;
 use bcastdb_workload::{WorkloadConfig, WorkloadRun};
-use std::fmt::Display;
 
 fn main() {
     let cfg = WorkloadConfig {
@@ -51,7 +54,7 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("t3_latency_breakdown", &header_refs);
 
-    for proto in ProtocolKind::ALL {
+    let outcome = Sweep::from_env().run(ProtocolKind::ALL.to_vec(), |&proto| {
         let mut builder = Cluster::builder()
             .sites(5)
             .protocol(proto)
@@ -92,23 +95,25 @@ fn main() {
             .iter()
             .max_by_key(|s| summary.segment(**s).mean().as_micros())
             .expect("nonempty");
-        let name = proto.name();
-        let commits = summary.count();
-        let segs = segment_cells(&summary);
-        let mean = f2(summary.end_to_end.mean().as_millis_f64());
-        let p95 = f2(summary.end_to_end.p95().as_millis_f64());
-        let dom = dominant.name();
-        let mut cells: Vec<&dyn Display> = vec![&name, &commits];
-        cells.extend(segs.iter().map(|c| c as &dyn Display));
-        cells.push(&mean);
-        cells.push(&p95);
-        cells.push(&dom);
-        table.row(&cells);
+        let mut cells = vec![proto.name().to_string(), summary.count().to_string()];
+        cells.extend(segment_cells(&summary));
+        cells.push(f2(summary.end_to_end.mean().as_millis_f64()));
+        cells.push(f2(summary.end_to_end.p95().as_millis_f64()));
+        cells.push(dominant.name().to_string());
 
         if trace_out.is_some() {
             let lines = cluster.finish_trace_jsonl().expect("trace flush");
             eprintln!("[t3] {}: {} trace events written", proto.name(), lines);
         }
+        (cells, cluster.events_processed())
+    });
+    let mut events = 0u64;
+    for (cells, ev) in &outcome.results {
+        table.row_strings(cells);
+        events += ev;
     }
     table.emit();
+    let mut ledger = Ledger::new();
+    ledger.record("t3_latency_breakdown", &outcome, events);
+    ledger.finish();
 }

@@ -45,10 +45,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::{
+    git_rev, jobs_from_env, read_ledger_relay, write_wallclock_json, Ledger, LedgerEntry, Sweep,
+    SweepOutcome,
+};
+
 use bcastdb_core::Cluster;
 use bcastdb_sim::telemetry::{Phase, PhaseCounts, Segment, SegmentSummary};
 use std::fmt::Display;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Ring-buffer capacity the experiment binaries pass to
@@ -192,8 +200,30 @@ impl Table {
             .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
-    /// Prints the table to stdout and mirrors it to CSV if
-    /// `BCASTDB_RESULTS_DIR` is set.
+    /// Appends one row of pre-formatted cells. This is how the parallel
+    /// sweeps add rows: workers format their cells off-thread, the main
+    /// thread appends them in config order.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row_strings(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// The CSV rendering of this table (headers + rows), exactly the bytes
+    /// mirrored to `$BCASTDB_RESULTS_DIR/<name>.csv` by [`Table::emit`].
+    pub fn csv_bytes(&self) -> String {
+        let mut csv = self.headers.join(",") + "\n";
+        for r in &self.rows {
+            csv.push_str(&r.join(","));
+            csv.push('\n');
+        }
+        csv
+    }
+
+    /// Prints the table to stdout (one buffered write) and mirrors it to
+    /// CSV if `BCASTDB_RESULTS_DIR` is set.
     pub fn emit(&self) {
         let widths: Vec<usize> = self
             .headers
@@ -208,35 +238,39 @@ impl Table {
                     .unwrap_or(0)
             })
             .collect();
-        println!("\n== {} ==", self.name);
+        let mut text = format!("\n== {} ==\n", self.name);
         let header_line: Vec<String> = self
             .headers
             .iter()
             .zip(&widths)
             .map(|(h, w)| format!("{h:>w$}"))
             .collect();
-        println!("{}", header_line.join("  "));
-        println!("{}", "-".repeat(header_line.join("  ").len()));
+        let header_line = header_line.join("  ");
+        text.push_str(&header_line);
+        text.push('\n');
+        text.push_str(&"-".repeat(header_line.len()));
+        text.push('\n');
         for r in &self.rows {
             let line: Vec<String> = r
                 .iter()
                 .zip(&widths)
                 .map(|(c, w)| format!("{c:>w$}"))
                 .collect();
-            println!("{}", line.join("  "));
+            text.push_str(&line.join("  "));
+            text.push('\n');
         }
         if let Ok(dir) = std::env::var("BCASTDB_RESULTS_DIR") {
             let _ = fs::create_dir_all(&dir);
             let path = Path::new(&dir).join(format!("{}.csv", self.name));
-            let mut csv = self.headers.join(",") + "\n";
-            for r in &self.rows {
-                csv.push_str(&r.join(","));
-                csv.push('\n');
-            }
-            if fs::write(&path, csv).is_ok() {
-                println!("(written to {})", path.display());
+            if fs::write(&path, self.csv_bytes()).is_ok() {
+                text.push_str(&format!("(written to {})\n", path.display()));
             }
         }
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        out.write_all(text.as_bytes())
+            .and_then(|()| out.flush())
+            .expect("write table to stdout");
     }
 }
 

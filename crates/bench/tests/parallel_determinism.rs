@@ -1,0 +1,116 @@
+//! Parallel-harness regression tests: a sweep run on worker threads must
+//! be indistinguishable — to the byte — from the serial run, and the
+//! JSONL trace stream must survive a cluster that is dropped without an
+//! explicit flush.
+
+use bcastdb_bench::{Sweep, Table};
+use bcastdb_core::{Cluster, ProtocolKind, TxnSpec};
+use bcastdb_sim::SimDuration;
+use bcastdb_sim::SiteId;
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+
+/// One F1-style run: build a traced cluster, drive the open-loop
+/// workload, return the table cells plus the full `Metrics` snapshot
+/// (via its `Debug` rendering, which covers every counter and latency
+/// sample).
+fn f1_run(n: usize, proto: ProtocolKind) -> (Vec<String>, String) {
+    let cfg = WorkloadConfig {
+        n_keys: 1000,
+        theta: 0.6,
+        reads_per_txn: 2,
+        writes_per_txn: 2,
+        readonly_fraction: 0.0,
+        ..WorkloadConfig::default()
+    };
+    let mut cluster = Cluster::builder()
+        .sites(n)
+        .protocol(proto)
+        .trace(4096)
+        .seed(7)
+        .build();
+    let run = WorkloadRun::new(cfg, 70 + n as u64);
+    let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
+    assert!(report.quiesced, "{proto}@{n} did not quiesce");
+    let m = &report.metrics;
+    let cells = vec![
+        n.to_string(),
+        proto.name().to_string(),
+        m.commits().to_string(),
+        m.aborts().to_string(),
+        format!("{:.3}", m.update_latency.mean().as_millis_f64()),
+        format!("{:.3}", m.update_latency.p95().as_millis_f64()),
+    ];
+    (cells, format!("{:?}", report.metrics))
+}
+
+/// The full F1 sweep run serially and with four workers must produce
+/// byte-identical CSV output and identical `Metrics` snapshots for every
+/// run. This is the determinism contract the parallel harness sells:
+/// `BCASTDB_JOBS` may change wall-clock, never results.
+#[test]
+fn f1_sweep_is_identical_serial_and_parallel() {
+    let mut configs = Vec::new();
+    for n in [3usize, 5, 7, 9, 13] {
+        for proto in ProtocolKind::ALL {
+            configs.push((n, proto));
+        }
+    }
+    let serial = Sweep::with_jobs(1).run(configs.clone(), |&(n, p)| f1_run(n, p));
+    let parallel = Sweep::with_jobs(4).run(configs.clone(), |&(n, p)| f1_run(n, p));
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(parallel.jobs, 4);
+
+    let headers = [
+        "sites", "protocol", "commits", "aborts", "mean_ms", "p95_ms",
+    ];
+    let mut serial_table = Table::new("f1_determinism", &headers);
+    let mut parallel_table = Table::new("f1_determinism", &headers);
+    for (i, ((cells_s, metrics_s), (cells_p, metrics_p))) in
+        serial.results.iter().zip(&parallel.results).enumerate()
+    {
+        let (n, proto) = configs[i];
+        assert_eq!(
+            metrics_s, metrics_p,
+            "{proto}@{n}: Metrics snapshot differs between serial and 4-job runs"
+        );
+        serial_table.row_strings(cells_s);
+        parallel_table.row_strings(cells_p);
+    }
+    assert_eq!(
+        serial_table.csv_bytes(),
+        parallel_table.csv_bytes(),
+        "CSV bytes differ between serial and 4-job runs"
+    );
+}
+
+/// Dropping a cluster without calling `finish_trace_jsonl` must still
+/// leave a complete, well-formed trace file behind: the `BufWriter`
+/// wrapping the JSONL sink flushes on drop.
+#[test]
+fn trace_jsonl_flushes_on_drop() {
+    let path =
+        std::env::temp_dir().join(format!("bcastdb-drop-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut cluster = Cluster::builder()
+            .sites(3)
+            .protocol(ProtocolKind::ReliableBcast)
+            .trace(1024)
+            .trace_jsonl(&path)
+            .seed(5)
+            .build();
+        cluster.submit(SiteId(0), TxnSpec::new().write("x", 1));
+        cluster.run_to_quiescence();
+        // No finish_trace_jsonl: the cluster (and its BufWriter) drops here.
+    }
+    let text = std::fs::read_to_string(&path).expect("trace file exists after drop");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "dropped trace file is empty");
+    assert!(text.ends_with('\n'), "dropped trace file ends mid-line");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "incomplete JSONL line after drop: {line:?}"
+        );
+    }
+}

@@ -51,6 +51,14 @@ impl WireSize for MsgId {
     }
 }
 
+impl<T: WireSize + ?Sized> WireSize for std::sync::Arc<T> {
+    /// A shared payload serializes exactly like the payload itself — the
+    /// `Arc` exists only so an N-site fan-out can share one allocation.
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+}
+
 /// A flushed batch: every message pushed for `to` since the last flush,
 /// in push order, plus the wire size of the whole envelope.
 #[derive(Debug, Clone, PartialEq)]

@@ -107,6 +107,10 @@ pub struct ReplicaNode {
     batcher: Option<Batcher<ReplicaMsg>>,
     /// True while a `FlushBatch` timer is pending.
     flush_armed: bool,
+    /// Reusable [`Effects`] buffers: taken at the start of each step and
+    /// stored back (drained, capacity kept) by [`ReplicaNode::flush`], so
+    /// steady-state steps allocate no effect vectors at all.
+    scratch: Effects,
 }
 
 impl ReplicaNode {
@@ -157,6 +161,7 @@ impl ReplicaNode {
             tick_armed: false,
             batcher,
             flush_armed: false,
+            scratch: Effects::new(),
         }
     }
 
@@ -245,16 +250,16 @@ impl ReplicaNode {
         self.flush_armed = false;
     }
 
-    fn flush(&mut self, fx: Effects, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
-        for id in fx.pauses {
+    fn flush(&mut self, mut fx: Effects, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>) {
+        for id in fx.pauses.drain(..) {
             ctx.set_timer(self.cfg.think_time, ReplicaTimer::ReadStep(id));
         }
-        for id in fx.write_pauses {
+        for id in fx.write_pauses.drain(..) {
             ctx.set_timer(self.cfg.think_time, ReplicaTimer::WriteStep(id));
         }
         let me = ctx.me();
         let now = ctx.now();
-        for (dest, msg) in fx.sends {
+        for (dest, msg) in fx.sends.drain(..) {
             let kind = msg.kind();
             let phase = msg.phase();
             for to in expand_dest(dest, me, ctx.n_sites()) {
@@ -295,6 +300,9 @@ impl ReplicaNode {
             }
         }
         self.arm_flush(ctx);
+        // Hand the drained (but still allocated) buffers back for the next
+        // step.
+        self.scratch = fx;
     }
 
     /// Hands one coalesced batch to the network as a single sized
@@ -514,7 +522,7 @@ impl Node for ReplicaNode {
         msg: ReplicaMsg,
     ) {
         let now = ctx.now();
-        let mut fx = Effects::new();
+        let mut fx = std::mem::take(&mut self.scratch);
         if let Some(m) = &mut self.member {
             m.heard_from(from, now);
         }
@@ -535,7 +543,7 @@ impl Node for ReplicaNode {
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ReplicaMsg, ReplicaTimer>, tag: ReplicaTimer) {
         let now = ctx.now();
-        let mut fx = Effects::new();
+        let mut fx = std::mem::take(&mut self.scratch);
         match tag {
             ReplicaTimer::Submit(spec) => {
                 if self.is_operational() {

@@ -8,6 +8,7 @@ use bcastdb_broadcast::{causal, reliable};
 use bcastdb_db::{Key, TxnId, TxnSpec, WriteOp};
 use bcastdb_sim::telemetry::Phase;
 use bcastdb_sim::SiteId;
+use std::sync::Arc;
 
 /// Which of the paper's protocols a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -260,14 +261,16 @@ impl WireSize for P2pMsg {
 /// primitive's wire format plus the baseline's point-to-point messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReplicaMsg {
-    /// Reliable-broadcast wire traffic.
-    R(reliable::Wire<Payload>),
-    /// Causal-broadcast wire traffic.
-    C(causal::Wire<Payload>),
-    /// Sequencer atomic-broadcast wire traffic.
-    ASeq(SeqWire<Payload>),
-    /// ISIS atomic-broadcast wire traffic.
-    AIsis(IsisWire<Payload>),
+    /// Reliable-broadcast wire traffic. The payload body is `Arc`-shared:
+    /// an N-site broadcast allocates the payload once and every
+    /// per-destination copy of the wire is a refcount bump.
+    R(reliable::Wire<Arc<Payload>>),
+    /// Causal-broadcast wire traffic (`Arc`-shared payload body).
+    C(causal::Wire<Arc<Payload>>),
+    /// Sequencer atomic-broadcast wire traffic (`Arc`-shared payload body).
+    ASeq(SeqWire<Arc<Payload>>),
+    /// ISIS atomic-broadcast wire traffic (`Arc`-shared payload body).
+    AIsis(IsisWire<Arc<Payload>>),
     /// Point-to-point baseline traffic.
     P2p(P2pMsg),
     /// Membership service traffic.
@@ -278,7 +281,7 @@ pub enum ReplicaMsg {
     /// A retransmitted causal wire. Processed exactly like [`ReplicaMsg::C`]
     /// except it never triggers gap-report handling — retransmitted nulls
     /// carry stale clocks that must not solicit further retransmissions.
-    CRetrans(causal::Wire<Payload>),
+    CRetrans(causal::Wire<Arc<Payload>>),
     /// A batch of coalesced messages produced by the batching layer
     /// (`batch_window` enabled). The envelope is pure transport: the
     /// receiver unwraps and processes each inner message in order, and
@@ -475,7 +478,10 @@ mod tests {
             origin: SiteId(0),
             seq: 1,
         };
-        let wire = |p: Payload| reliable::Wire { id, payload: p };
+        let wire = |p: Payload| reliable::Wire {
+            id,
+            payload: Arc::new(p),
+        };
         let cases: Vec<(ReplicaMsg, Phase)> = vec![
             (
                 ReplicaMsg::R(wire(Payload::Write {
@@ -517,7 +523,7 @@ mod tests {
             (
                 ReplicaMsg::ASeq(SeqWire::Submit {
                     id,
-                    payload: Payload::Null,
+                    payload: Arc::new(Payload::Null),
                 }),
                 Phase::Prepare,
             ),
@@ -525,7 +531,7 @@ mod tests {
                 ReplicaMsg::ASeq(SeqWire::Ordered {
                     gseq: 1,
                     id,
-                    payload: Payload::Null,
+                    payload: Arc::new(Payload::Null),
                 }),
                 Phase::Decision,
             ),

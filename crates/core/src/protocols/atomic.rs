@@ -37,19 +37,23 @@ use bcastdb_db::{Key, TxnId};
 use bcastdb_sim::telemetry::TraceEvent;
 use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Either atomic-broadcast engine, selected by [`AbcastImpl`].
+///
+/// Both engines carry `Arc<Payload>` so their holdback/pending buffers and
+/// the per-destination fan-out share one payload allocation per broadcast.
 #[derive(Debug)]
 enum Abcast {
-    Seq(SequencerAbcast<Payload>),
-    Isis(IsisAbcast<Payload>),
+    Seq(SequencerAbcast<Arc<Payload>>),
+    Isis(IsisAbcast<Arc<Payload>>),
 }
 
 #[derive(Debug)]
 enum Work {
     Event(LocalEvent),
-    CausalDeliver(causal::Delivery<Payload>),
-    TotalDeliver(TotalDelivery<Payload>),
+    CausalDeliver(causal::Delivery<Arc<Payload>>),
+    TotalDeliver(TotalDelivery<Arc<Payload>>),
 }
 
 /// A commit request waiting in (or at the head of) the certification queue.
@@ -75,7 +79,7 @@ pub struct AbSnapshot {
 /// The atomic-broadcast replication protocol at one site.
 #[derive(Debug)]
 pub struct AtomicProto {
-    cb: CausalBcast<Payload>,
+    cb: CausalBcast<Arc<Payload>>,
     ab: Abcast,
     view: BTreeSet<SiteId>,
     /// Commit requests in total order, certified strictly head-first.
@@ -159,7 +163,7 @@ impl AtomicProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: causal::Wire<Payload>,
+        wire: causal::Wire<Arc<Payload>>,
     ) {
         let out = self.cb.on_wire(from, wire);
         let mut work = VecDeque::new();
@@ -174,7 +178,7 @@ impl AtomicProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: SeqWire<Payload>,
+        wire: SeqWire<Arc<Payload>>,
     ) {
         let Abcast::Seq(ab) = &mut self.ab else {
             return; // configured for ISIS; stray message
@@ -192,7 +196,7 @@ impl AtomicProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: IsisWire<Payload>,
+        wire: IsisWire<Arc<Payload>>,
     ) {
         let Abcast::Isis(ab) = &mut self.ab else {
             return;
@@ -237,7 +241,7 @@ impl AtomicProto {
     fn route_causal(
         &mut self,
         fx: &mut Effects,
-        out: causal::Output<Payload>,
+        out: causal::Output<Arc<Payload>>,
         work: &mut VecDeque<Work>,
     ) {
         for ob in out.outbound {
@@ -250,7 +254,7 @@ impl AtomicProto {
 
     fn route_total_out(
         fx: &mut Effects,
-        out: bcastdb_broadcast::atomic::Output<Payload, SeqWire<Payload>>,
+        out: bcastdb_broadcast::atomic::Output<Arc<Payload>, SeqWire<Arc<Payload>>>,
         work: &mut VecDeque<Work>,
     ) {
         for ob in out.outbound {
@@ -263,7 +267,7 @@ impl AtomicProto {
 
     fn route_isis_out(
         fx: &mut Effects,
-        out: bcastdb_broadcast::atomic::Output<Payload, IsisWire<Payload>>,
+        out: bcastdb_broadcast::atomic::Output<Arc<Payload>, IsisWire<Arc<Payload>>>,
         work: &mut VecDeque<Work>,
     ) {
         for ob in out.outbound {
@@ -275,6 +279,8 @@ impl AtomicProto {
     }
 
     fn abcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
+        // The single payload allocation of this broadcast.
+        let payload = Arc::new(payload);
         match &mut self.ab {
             Abcast::Seq(ab) => {
                 let (_, out) = ab.broadcast(payload);
@@ -398,13 +404,13 @@ impl AtomicProto {
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
         for (index, op) in writes.iter().enumerate().take(end).skip(start) {
-            let (_, out) = self.cb.broadcast(Payload::Write {
+            let (_, out) = self.cb.broadcast(Arc::new(Payload::Write {
                 txn: id,
                 prio,
                 op: op.clone(),
                 index,
                 of: n_writes,
-            });
+            }));
             self.route_causal(fx, out, work);
         }
         if end >= n_writes {
@@ -434,19 +440,20 @@ impl AtomicProto {
         &mut self,
         st: &mut SiteState,
         now: SimTime,
-        d: causal::Delivery<Payload>,
+        d: causal::Delivery<Arc<Payload>>,
         work: &mut VecDeque<Work>,
     ) {
         if let Payload::Write {
             txn, prio, op, of, ..
-        } = d.payload
+        } = &*d.payload
         {
+            let (txn, prio, of) = (*txn, *prio, *of);
             if st.decided.contains_key(&txn) {
                 return;
             }
             // Record the op only — no locks; applies happen in total order.
             let entry = st.remote_entry(txn, prio);
-            entry.ops.push(op);
+            entry.ops.push(op.clone());
             entry.n_writes = Some(of);
             // A commit request stalled on this write set may now proceed.
             self.drain_cert_queue(st, now, work);
@@ -457,7 +464,7 @@ impl AtomicProto {
         &mut self,
         st: &mut SiteState,
         now: SimTime,
-        d: TotalDelivery<Payload>,
+        d: TotalDelivery<Arc<Payload>>,
         work: &mut VecDeque<Work>,
     ) {
         if let Payload::CommitReq {
@@ -466,8 +473,9 @@ impl AtomicProto {
             n_writes,
             read_versions,
             write_versions,
-        } = d.payload
+        } = &*d.payload
         {
+            let txn = *txn;
             let gseq = d.gseq;
             let me = st.me;
             st.tracer.emit(|| TraceEvent::TotalOrder {
@@ -478,10 +486,10 @@ impl AtomicProto {
             });
             self.cert_queue.push_back(PendingCert {
                 txn,
-                prio,
-                n_writes,
-                read_versions,
-                write_versions,
+                prio: *prio,
+                n_writes: *n_writes,
+                read_versions: read_versions.clone(),
+                write_versions: write_versions.clone(),
             });
             self.drain_cert_queue(st, now, work);
         }

@@ -42,11 +42,12 @@ use bcastdb_broadcast::VectorClock;
 use bcastdb_db::{Key, TxnId};
 use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 #[derive(Debug)]
 enum Work {
     Event(LocalEvent),
-    Deliver(causal::Delivery<Payload>),
+    Deliver(causal::Delivery<Arc<Payload>>),
     /// All write operations of a local transaction are out (and their
     /// self-deliveries processed): gate against local readers, then either
     /// broadcast the commit request or give up.
@@ -72,9 +73,13 @@ struct CbTxn {
 }
 
 /// The causal-broadcast replication protocol at one site.
+///
+/// The broadcast engine is instantiated with `Arc<Payload>` so its archive,
+/// pending set, and per-destination fan-out share one payload allocation
+/// per broadcast instead of deep-cloning it N−1 times.
 #[derive(Debug)]
 pub struct CausalProto {
-    cb: CausalBcast<Payload>,
+    cb: CausalBcast<Arc<Payload>>,
     view: BTreeSet<SiteId>,
     info: BTreeMap<TxnId, CbTxn>,
     /// Emit a null message on ticks while transactions are undecided.
@@ -170,7 +175,7 @@ impl CausalProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: causal::Wire<Payload>,
+        wire: causal::Wire<Arc<Payload>>,
     ) {
         let out = self.cb.on_wire(from, wire);
         let mut work = VecDeque::new();
@@ -185,7 +190,7 @@ impl CausalProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: causal::Wire<Payload>,
+        wire: causal::Wire<Arc<Payload>>,
     ) {
         // In loss-recovery mode a *null* message doubles as a gap report:
         // its clock reveals what its origin had delivered, so ship it
@@ -193,7 +198,7 @@ impl CausalProto {
         // unretransmitted) nulls trigger this — reacting to every wire
         // would let stale retransmitted clocks solicit retransmissions of
         // their own, a storm that never drains.
-        if self.recover_losses && from == wire.id.origin && matches!(wire.payload, Payload::Null) {
+        if self.recover_losses && from == wire.id.origin && matches!(*wire.payload, Payload::Null) {
             // Only our *own* missing messages are retransmitted from here:
             // with every site answering for every gap, a lossy cluster
             // floods itself — one authoritative responder per message is
@@ -257,12 +262,19 @@ impl CausalProto {
     }
 
     fn bcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
-        let (_, out) = self.cb.broadcast(payload);
+        // The single payload allocation of this broadcast: every wire copy
+        // and archive entry from here on is a refcount bump.
+        let (_, out) = self.cb.broadcast(Arc::new(payload));
         self.last_bcast_vc = self.cb.clock().clone();
         self.route(fx, out, work);
     }
 
-    fn route(&mut self, fx: &mut Effects, out: causal::Output<Payload>, work: &mut VecDeque<Work>) {
+    fn route(
+        &mut self,
+        fx: &mut Effects,
+        out: causal::Output<Arc<Payload>>,
+        work: &mut VecDeque<Work>,
+    ) {
         for ob in out.outbound {
             fx.send(ob.dest, ReplicaMsg::C(ob.wire));
         }
@@ -450,7 +462,7 @@ impl CausalProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        d: causal::Delivery<Payload>,
+        d: causal::Delivery<Arc<Payload>>,
         work: &mut VecDeque<Work>,
     ) {
         let sender = d.id.origin;
@@ -458,20 +470,20 @@ impl CausalProto {
         // its sender's implicit acknowledgement — otherwise the NACK's own
         // clock could complete the ack set and commit the transaction it
         // rejects.
-        if let Payload::Nack { txn, site } = &d.payload {
+        if let Payload::Nack { txn, site } = &*d.payload {
             self.info.entry(*txn).or_default().nacked.insert(*site);
         }
         // Every delivery is a potential implicit acknowledgement: the
         // sender's clock proves which commit requests it had delivered.
         self.absorb_implicit_acks(st, now, sender, &d.vc, work);
 
-        match d.payload {
+        match &*d.payload {
             Payload::Write {
                 txn, prio, op, of, ..
             } => {
-                self.on_write(st, fx, now, txn, prio, op, of, &d.vc, work);
+                self.on_write(st, fx, now, *txn, *prio, op.clone(), *of, &d.vc, work);
             }
-            Payload::CommitReq {
+            &Payload::CommitReq {
                 txn,
                 prio,
                 n_writes,
@@ -505,7 +517,7 @@ impl CausalProto {
                 self.gate_local_readers(st, fx, now, txn, work);
                 self.try_decide(st, now, txn, work);
             }
-            Payload::Nack { txn, site } => {
+            &Payload::Nack { txn, site } => {
                 self.info.entry(txn).or_default().nacked.insert(site);
                 self.try_decide(st, now, txn, work);
             }

@@ -21,18 +21,23 @@ use bcastdb_broadcast::reliable::{self, ReliableBcast};
 use bcastdb_db::TxnId;
 use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// One unit of pending protocol work.
 #[derive(Debug)]
 enum Work {
     Event(LocalEvent),
-    Deliver(Payload),
+    Deliver(Arc<Payload>),
 }
 
 /// The reliable-broadcast replication protocol at one site.
+///
+/// The broadcast engine is instantiated with `Arc<Payload>` so its archive,
+/// holdback, and per-destination fan-out share one payload allocation per
+/// broadcast instead of deep-cloning it N−1 times.
 #[derive(Debug)]
 pub struct ReliableProto {
-    rb: ReliableBcast<Payload>,
+    rb: ReliableBcast<Arc<Payload>>,
     view: BTreeSet<SiteId>,
     /// Paced write phases: next operation index per local transaction
     /// (only used when the cluster configures per-operation think time).
@@ -91,7 +96,7 @@ impl ReliableProto {
         fx: &mut Effects,
         now: SimTime,
         from: SiteId,
-        wire: reliable::Wire<Payload>,
+        wire: reliable::Wire<Arc<Payload>>,
     ) {
         let out = self.rb.on_wire(from, wire);
         let mut work = VecDeque::new();
@@ -150,14 +155,16 @@ impl ReliableProto {
     /// Broadcasts `payload`, routing wire traffic to `fx` and the local
     /// self-delivery into the work queue.
     fn bcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
-        let (_, out) = self.rb.broadcast(payload);
+        // The single payload allocation of this broadcast: every wire copy
+        // and archive entry from here on is a refcount bump.
+        let (_, out) = self.rb.broadcast(Arc::new(payload));
         self.route(fx, out, work);
     }
 
     fn route(
         &mut self,
         fx: &mut Effects,
-        out: reliable::Output<Payload>,
+        out: reliable::Output<Arc<Payload>>,
         work: &mut VecDeque<Work>,
     ) {
         for ob in out.outbound {
@@ -313,18 +320,18 @@ impl ReliableProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        payload: Payload,
+        payload: Arc<Payload>,
         work: &mut VecDeque<Work>,
     ) {
-        match payload {
+        match &*payload {
             Payload::Write {
                 txn, prio, op, of, ..
             } => {
                 let mut events = Vec::new();
-                st.deliver_write_op(txn, prio, op, of, now, &mut events);
+                st.deliver_write_op(*txn, *prio, op.clone(), *of, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             }
-            Payload::CommitReq {
+            &Payload::CommitReq {
                 txn,
                 prio,
                 n_writes,
@@ -348,7 +355,7 @@ impl ReliableProto {
                 self.gate_local_readers(st, now, txn, work);
                 self.maybe_vote(st, fx, now, txn, work);
             }
-            Payload::Vote { txn, site, yes } => {
+            &Payload::Vote { txn, site, yes } => {
                 if st.decided.contains_key(&txn) {
                     return;
                 }
@@ -368,7 +375,7 @@ impl ReliableProto {
                 }
                 self.try_decide(st, now, txn, work);
             }
-            Payload::AbortDecision { txn } => {
+            &Payload::AbortDecision { txn } => {
                 let reason = st
                     .remote
                     .get(&txn)

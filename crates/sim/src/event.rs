@@ -86,6 +86,16 @@ impl<M, T> EventQueue<M, T> {
         }
     }
 
+    /// Creates an empty queue with room for `cap` events before the
+    /// backing heap reallocates. Ordering semantics are identical to
+    /// [`EventQueue::new`] — capacity never affects pop order.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `kind` to fire at `time`. Events at equal times fire in
     /// scheduling order.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind<M, T>) {

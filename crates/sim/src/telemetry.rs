@@ -816,7 +816,10 @@ impl RingSink {
     pub fn new(capacity: usize) -> Self {
         RingSink {
             capacity,
-            buf: VecDeque::new(),
+            // Pre-size to the full ring: the buffer reaches capacity on
+            // every traced run anyway, so allocate once up front instead
+            // of growing through the doubling sequence.
+            buf: VecDeque::with_capacity(capacity),
             evicted: 0,
         }
     }
