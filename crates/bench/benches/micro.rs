@@ -256,6 +256,32 @@ fn bench_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+/// The whole simulator, end to end: the `t2_failures` crash scenario
+/// (five sites, Zipf load, one mid-run crash, view change, survivor
+/// load) per protocol. Each iteration processes a fixed, deterministic
+/// number of events — asserted below and ratcheted by the scenario's own
+/// unit test — so `events/iteration ÷ time/iteration` is the repo's
+/// headline events-per-second figure. `BENCH_wallclock.json` records the
+/// same figure from the real experiment runs.
+fn bench_whole_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whole_sim");
+    g.sample_size(10);
+    for (proto, events) in [
+        (ProtocolKind::ReliableBcast, 10129u64),
+        (ProtocolKind::CausalBcast, 9149),
+        (ProtocolKind::AtomicBcast, 8723),
+    ] {
+        g.bench_function(proto.name(), |b| {
+            b.iter(|| {
+                let processed = bcastdb_bench::scenarios::crash_scenario(black_box(proto));
+                assert_eq!(processed, events, "{proto}: event count drifted");
+                processed
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e_txn_5sites");
     g.sample_size(20);
@@ -284,6 +310,7 @@ criterion_group!(
     bench_broadcast_engines,
     bench_event_queue,
     bench_fanout,
+    bench_whole_sim,
     bench_end_to_end
 );
 criterion_main!(benches);

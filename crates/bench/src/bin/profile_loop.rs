@@ -1,0 +1,53 @@
+//! **Profiling driver** — runs one t2-style crash scenario in a loop so a
+//! sampling profiler has something to sample.
+//!
+//! A single experiment finishes in tens of milliseconds, which is below
+//! the useful resolution of `gprofng collect app` (~10 ms sampling
+//! period): profiling the real binaries yields a handful of samples and
+//! an empty report. This driver repeats one scenario long enough for the
+//! profile to converge:
+//!
+//! ```text
+//! cargo build --release --workspace
+//! gprofng collect app -o /tmp/prof.er ./target/release/profile_loop causal 200
+//! gprofng display text -functions /tmp/prof.er | head -40
+//! ```
+//!
+//! Usage: `profile_loop [reliable|causal|atomic] [iterations]`
+//! (defaults: `causal`, 100). The scenario is identical to the matching
+//! `t2_failures` crash run (minus tracing), so what this profiles is what
+//! that experiment's wall-clock measures. See PERFORMANCE.md,
+//! "Profiling".
+
+use bcastdb_bench::scenarios::crash_scenario;
+use bcastdb_core::ProtocolKind;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let proto = match args.next().as_deref() {
+        None | Some("causal") => ProtocolKind::CausalBcast,
+        Some("reliable") => ProtocolKind::ReliableBcast,
+        Some("atomic") => ProtocolKind::AtomicBcast,
+        Some(other) => {
+            eprintln!("unknown protocol {other:?}: use reliable|causal|atomic");
+            std::process::exit(2);
+        }
+    };
+    let iters: u64 = args
+        .next()
+        .map(|s| s.parse().expect("iterations must be a number"))
+        .unwrap_or(100);
+
+    let started = Instant::now();
+    let mut events = 0u64;
+    for _ in 0..iters {
+        events += crash_scenario(proto);
+    }
+    let wall = started.elapsed();
+    eprintln!(
+        "{proto}: {iters} iterations, {events} events, {:.1} ms, {:.0} events/s",
+        wall.as_secs_f64() * 1e3,
+        events as f64 / wall.as_secs_f64()
+    );
+}

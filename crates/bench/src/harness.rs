@@ -95,6 +95,7 @@ impl Sweep {
         F: Fn(&C) -> R + Sync,
     {
         let started = Instant::now();
+        let alloc_start = bcastdb_memprobe::allocation_count();
         let n = configs.len();
         let jobs = self.jobs.min(n.max(1));
         let mut timed: Vec<(R, Duration)> = Vec::with_capacity(n);
@@ -145,10 +146,19 @@ impl Sweep {
             results.push(r);
             run_wall.push(d);
         }
+        // Opt-in per-run timing on stderr (stdout stays byte-identical):
+        // `BCASTDB_SWEEP_TIMING=1 ./t2_failures` shows which config eats
+        // the wall-clock. See PERFORMANCE.md, "Profiling".
+        if std::env::var_os("BCASTDB_SWEEP_TIMING").is_some() {
+            for (i, d) in run_wall.iter().enumerate() {
+                eprintln!("[sweep-timing] run {i}: {:.3} ms", d.as_secs_f64() * 1e3);
+            }
+        }
         SweepOutcome {
             results,
             run_wall,
             wall: started.elapsed(),
+            allocs: bcastdb_memprobe::allocation_count() - alloc_start,
             jobs,
         }
     }
@@ -163,6 +173,10 @@ pub struct SweepOutcome<R> {
     pub run_wall: Vec<Duration>,
     /// Wall-clock of the whole sweep (what the user actually waited).
     pub wall: Duration,
+    /// Heap allocations performed during the sweep (exact and reproducible
+    /// — the harness binaries install the `bcastdb-memprobe` counting
+    /// allocator), the noise-free cost metric next to `wall`.
+    pub allocs: u64,
     /// Worker threads actually used (clamped to the config count).
     pub jobs: usize,
 }
@@ -190,6 +204,9 @@ pub struct LedgerEntry {
     pub runs_wall_ms: f64,
     /// Total simulator events processed across the sweep's runs.
     pub events: u64,
+    /// Heap allocations during the sweep (deterministic; see
+    /// [`SweepOutcome::allocs`]).
+    pub allocs: u64,
 }
 
 impl LedgerEntry {
@@ -197,6 +214,16 @@ impl LedgerEntry {
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_ms > 0.0 {
             self.events as f64 * 1000.0 / self.wall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Heap allocations per simulator event (0.0 for an event-free sweep).
+    /// Exactly reproducible run to run, unlike any wall-clock metric.
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.allocs as f64 / self.events as f64
         } else {
             0.0
         }
@@ -213,8 +240,14 @@ impl LedgerEntry {
 
     fn to_tsv(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{:.3}\t{:.3}\t{}",
-            self.experiment, self.runs, self.jobs, self.wall_ms, self.runs_wall_ms, self.events
+            "{}\t{}\t{}\t{:.3}\t{:.3}\t{}\t{}",
+            self.experiment,
+            self.runs,
+            self.jobs,
+            self.wall_ms,
+            self.runs_wall_ms,
+            self.events,
+            self.allocs
         )
     }
 
@@ -226,6 +259,8 @@ impl LedgerEntry {
         let wall_ms = it.next()?.parse().ok()?;
         let runs_wall_ms = it.next()?.parse().ok()?;
         let events = it.next()?.parse().ok()?;
+        // Absent in relay files written before the allocation probe.
+        let allocs = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
         Some(LedgerEntry {
             experiment,
             runs,
@@ -233,6 +268,7 @@ impl LedgerEntry {
             wall_ms,
             runs_wall_ms,
             events,
+            allocs,
         })
     }
 }
@@ -260,6 +296,7 @@ impl Ledger {
             wall_ms: outcome.wall.as_secs_f64() * 1000.0,
             runs_wall_ms: outcome.total_run_wall().as_secs_f64() * 1000.0,
             events,
+            allocs: outcome.allocs,
         });
     }
 
@@ -293,7 +330,7 @@ impl Ledger {
             for e in &self.entries {
                 eprintln!(
                     "[bench] {}: {} runs, {:.1} ms wall ({:.1} ms serial-equivalent, \
-                     {} jobs, {:.2}x, {:.0} events/s)",
+                     {} jobs, {:.2}x, {:.0} events/s, {:.2} allocs/event)",
                     e.experiment,
                     e.runs,
                     e.wall_ms,
@@ -301,6 +338,7 @@ impl Ledger {
                     e.jobs,
                     e.speedup(),
                     e.events_per_sec(),
+                    e.allocs_per_event(),
                 );
             }
         }
@@ -360,7 +398,8 @@ fn json_escape(s: &str) -> String {
 ///   "experiments": [
 ///     { "experiment": "f1_latency_vs_n", "runs": 20, "jobs": 4,
 ///       "wall_ms": 100.0, "runs_wall_ms": 350.0, "speedup": 3.50,
-///       "events": 123456, "events_per_sec": 1234560.0 }
+///       "events": 123456, "events_per_sec": 1234560.0,
+///       "allocs": 654321, "allocs_per_event": 5.30 }
 ///   ]
 /// }
 /// ```
@@ -387,7 +426,8 @@ pub fn write_wallclock_json(path: &Path, entries: &[LedgerEntry]) -> std::io::Re
             out,
             "    {{ \"experiment\": \"{}\", \"runs\": {}, \"jobs\": {}, \
              \"wall_ms\": {:.3}, \"runs_wall_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"events\": {}, \"events_per_sec\": {:.1} }}{}",
+             \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"allocs\": {}, \"allocs_per_event\": {:.2} }}{}",
             json_escape(&e.experiment),
             e.runs,
             e.jobs,
@@ -396,6 +436,8 @@ pub fn write_wallclock_json(path: &Path, entries: &[LedgerEntry]) -> std::io::Re
             e.speedup(),
             e.events,
             e.events_per_sec(),
+            e.allocs,
+            e.allocs_per_event(),
             comma,
         );
     }
@@ -459,6 +501,7 @@ mod tests {
             wall_ms: 123.456,
             runs_wall_ms: 400.5,
             events: 987654,
+            allocs: 123456,
         };
         let parsed = LedgerEntry::from_tsv(&e.to_tsv()).expect("roundtrip");
         assert_eq!(parsed.experiment, e.experiment);
@@ -488,6 +531,7 @@ mod tests {
             wall_ms: 10.0,
             runs_wall_ms: 10.0,
             events: 42,
+            allocs: 84,
         }];
         let path =
             std::env::temp_dir().join(format!("bcastdb-wallclock-{}.json", std::process::id()));

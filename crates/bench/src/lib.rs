@@ -45,7 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Every experiment binary counts its heap allocations: in a deterministic
+/// simulator the count is exactly reproducible, making `allocs/event` a
+/// noise-free cost metric next to the wall-clock `events_per_sec` (see
+/// `PERFORMANCE.md`). The probe is a relaxed counter increment per
+/// allocation — far below measurement noise.
+#[global_allocator]
+static ALLOC_PROBE: bcastdb_memprobe::CountingAllocator = bcastdb_memprobe::CountingAllocator;
+
 pub mod harness;
+pub mod scenarios;
 
 pub use harness::{
     git_rev, jobs_from_env, read_ledger_relay, write_wallclock_json, Ledger, LedgerEntry, Sweep,

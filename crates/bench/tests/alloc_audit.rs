@@ -1,0 +1,183 @@
+//! Deterministic allocation audit for the simulator hot path.
+//!
+//! The bench harness installs [`bcastdb_memprobe::CountingAllocator`] as
+//! the global allocator (see `crates/bench/src/lib.rs`), and this test
+//! binary links the harness, so every heap allocation in the process is
+//! counted. Because the simulator is deterministic, the counts are *exact*
+//! — the same run performs the same allocations every time — which makes
+//! `allocs/event` a noise-free stand-in for profiling on a box with no
+//! `perf`/`valgrind`. (Capturing backtraces inside the allocator is not an
+//! option: it deadlocks — see `crates/memprobe/src/lib.rs`.)
+//!
+//! The test runs a t2-style crash workload once, measuring the allocation
+//! delta of each phase (cluster build, simulation, verification), prints
+//! the breakdown (visible with `--nocapture`), and ratchets a ceiling on
+//! the simulation phase's allocs/event. The ceiling has ~25% headroom over
+//! the measured value so that toolchain drift doesn't trip it, but any
+//! change that reintroduces a per-event or per-message allocation on the
+//! hot path (a clone per delivery, a `Vec` per fan-out, an un-pre-sized
+//! ring) blows well past it.
+//!
+//! Everything runs inside ONE `#[test]` function: the counter is
+//! process-global, so a concurrently running test would pollute the
+//! deltas.
+
+use bcastdb_bench::{check_traced_run, TRACE_CAPACITY};
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::{DetRng, SimDuration, SimTime, SiteId};
+use bcastdb_workload::WorkloadConfig;
+
+const N: usize = 5;
+const CRASH_AT_US: u64 = 200_000;
+
+fn allocs() -> u64 {
+    bcastdb_memprobe::allocation_count()
+}
+
+/// Runs the t2 `ReliableBcast` crash scenario phase by phase and returns
+/// `(phase_name, allocation_delta)` pairs plus the total event count.
+fn phased_crash_run(trace: bool) -> (Vec<(&'static str, u64)>, u64) {
+    let mut phases = Vec::new();
+    let mut mark = allocs();
+    let mut phase = |name: &'static str, phases: &mut Vec<(&'static str, u64)>| {
+        let now = allocs();
+        phases.push((name, now - mark));
+        mark = now;
+    };
+
+    let mut builder = Cluster::builder()
+        .sites(N)
+        .protocol(ProtocolKind::ReliableBcast)
+        .seed(37)
+        .membership(true)
+        .suspect_after(SimDuration::from_millis(60));
+    if trace {
+        builder = builder.trace(TRACE_CAPACITY);
+    }
+    let mut cluster = builder.build();
+    phase("build cluster", &mut phases);
+
+    let cfg = WorkloadConfig {
+        n_keys: 300,
+        theta: 0.5,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let zipf = cfg.sampler();
+    let mut rng = DetRng::new(370);
+    for site in 0..N {
+        let mut at = SimTime::from_micros(1_000);
+        let mut site_rng = rng.fork(site as u64);
+        for _ in 0..10 {
+            at += SimDuration::from_millis(15);
+            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+        }
+    }
+    phase("generate workload", &mut phases);
+
+    cluster.run_until(SimTime::from_micros(CRASH_AT_US));
+    phase("simulate: pre-crash", &mut phases);
+
+    cluster.crash(SiteId(N - 1));
+    let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
+    loop {
+        view_change_done += SimDuration::from_millis(5);
+        cluster.run_until(view_change_done);
+        let all_evicted = (0..N - 1).all(|s| {
+            !cluster
+                .replica(SiteId(s))
+                .view_members()
+                .contains(&SiteId(N - 1))
+        });
+        if all_evicted {
+            break;
+        }
+    }
+    phase("simulate: view change", &mut phases);
+
+    for site in 0..N - 1 {
+        let mut at = view_change_done + SimDuration::from_millis(5);
+        let mut site_rng = rng.fork(100 + site as u64);
+        for _ in 0..10 {
+            at += SimDuration::from_millis(15);
+            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+        }
+    }
+    cluster.run_until(view_change_done + SimDuration::from_secs(2));
+    phase("simulate: post-crash", &mut phases);
+
+    let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
+    assert!(cluster.check_serializability_among(&survivors).is_ok());
+    phase("check serializability", &mut phases);
+
+    if trace {
+        check_traced_run(&cluster, "alloc audit crash run");
+        phase("check traced run", &mut phases);
+    }
+
+    (phases, cluster.events_processed())
+}
+
+#[test]
+fn allocs_per_event_stays_bounded() {
+    let (with_trace, events) = phased_crash_run(true);
+    let (without_trace, events_untraced) = phased_crash_run(false);
+
+    let total = |phases: &[(&str, u64)]| phases.iter().map(|(_, a)| a).sum::<u64>();
+    eprintln!("=== alloc audit: t2 ReliableBcast crash scenario ===");
+    eprintln!(
+        "--- traced ({events} events, {} allocs total) ---",
+        total(&with_trace)
+    );
+    for (name, delta) in &with_trace {
+        eprintln!("{delta:>9}  {name}");
+    }
+    eprintln!(
+        "--- untraced ({events_untraced} events, {} allocs total) ---",
+        total(&without_trace)
+    );
+    for (name, delta) in &without_trace {
+        eprintln!("{delta:>9}  {name}");
+    }
+
+    // The ratchet: allocations per simulated event across the three
+    // simulation phases (excluding one-time cluster build, workload
+    // generation, and post-run verification). Measured at ~2.1 with
+    // tracing on; the ceiling leaves headroom for toolchain drift but
+    // not for a reintroduced per-event allocation.
+    let sim_allocs: u64 = with_trace
+        .iter()
+        .filter(|(name, _)| name.starts_with("simulate:"))
+        .map(|(_, a)| a)
+        .sum();
+    let per_event = sim_allocs as f64 / events as f64;
+    eprintln!("simulation-phase allocs/event (traced): {per_event:.3}");
+    assert!(
+        per_event < 3.0,
+        "simulation phases now allocate {per_event:.3} times per event \
+         (ceiling 3.0) — a hot-path allocation crept back in; \
+         see PERFORMANCE.md"
+    );
+
+    // Tracing must stay allocation-free per event once the ring is
+    // pre-sized: the traced and untraced runs may differ by the ring
+    // buffers themselves (cluster build) but not per-event.
+    let sim_untraced: u64 = without_trace
+        .iter()
+        .filter(|(name, _)| name.starts_with("simulate:"))
+        .map(|(_, a)| a)
+        .sum();
+    let tracing_overhead = sim_allocs.saturating_sub(sim_untraced) as f64 / events as f64;
+    eprintln!("tracing alloc overhead per event: {tracing_overhead:.3}");
+    assert!(
+        tracing_overhead < 0.5,
+        "tracing now allocates {tracing_overhead:.3} times per event during \
+         simulation — the trace ring should be pre-sized at build time"
+    );
+
+    // Determinism sanity: the audit itself only makes sense if the run is
+    // reproducible, which the event-count equality of two independent
+    // builds (traced vs untraced differ only in observers) attests.
+    assert_eq!(events, events_untraced, "tracing changed the simulation");
+}

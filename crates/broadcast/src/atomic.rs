@@ -17,6 +17,7 @@
 //! number, identical at every site.
 
 use crate::msg::{MsgId, Outbound};
+use bcastdb_sim::inline::InlineVec;
 use bcastdb_sim::SiteId;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -32,19 +33,24 @@ pub struct TotalDelivery<P> {
 }
 
 /// Result of feeding an atomic-broadcast engine one input.
+///
+/// Both lists use inline storage: a step almost always yields at most a
+/// couple of deliveries and outbound bundles (ISIS answers with one
+/// proposal or final per input), so the common case constructs no heap
+/// allocation at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Output<P, W> {
     /// Messages now deliverable, in total order.
-    pub deliveries: Vec<TotalDelivery<P>>,
+    pub deliveries: InlineVec<TotalDelivery<P>, 2>,
     /// Wire messages to hand to the transport.
-    pub outbound: Vec<Outbound<W>>,
+    pub outbound: InlineVec<Outbound<W>, 2>,
 }
 
 impl<P, W> Output<P, W> {
     fn empty() -> Self {
         Output {
-            deliveries: Vec::new(),
-            outbound: Vec::new(),
+            deliveries: InlineVec::new(),
+            outbound: InlineVec::new(),
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::msg::{Dest, MsgId, Outbound};
 use crate::vclock::VectorClock;
+use bcastdb_sim::inline::InlineVec;
 use bcastdb_sim::SiteId;
 use std::collections::HashSet;
 
@@ -49,19 +50,23 @@ pub struct Delivery<P> {
 }
 
 /// Result of feeding the engine one input.
+///
+/// Both lists use inline storage: a broadcast or delivery step almost
+/// always yields at most one outbound bundle and a couple of deliveries,
+/// so the common case constructs no heap allocation at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Output<P> {
     /// Messages now deliverable, in causal order.
-    pub deliveries: Vec<Delivery<P>>,
+    pub deliveries: InlineVec<Delivery<P>, 2>,
     /// Wire messages to hand to the transport.
-    pub outbound: Vec<Outbound<Wire<P>>>,
+    pub outbound: InlineVec<Outbound<Wire<P>>, 1>,
 }
 
 impl<P> Output<P> {
     fn empty() -> Self {
         Output {
-            deliveries: Vec::new(),
-            outbound: Vec::new(),
+            deliveries: InlineVec::new(),
+            outbound: InlineVec::new(),
         }
     }
 }
@@ -77,8 +82,13 @@ pub struct CausalBcast<P> {
     vc: VectorClock,
     /// Messages received but not yet causally deliverable.
     pending: Vec<Wire<P>>,
-    /// Every wire ever seen (sent or received), retained for
-    /// retransmission to peers that lost their copies.
+    /// When true, every wire ever seen (sent or received) is retained in
+    /// `archive` for retransmission to peers that lost their copies.
+    /// Disabled via [`CausalBcast::without_archive`] when the deployment
+    /// never requests retransmissions, saving a wire clone (and its
+    /// vector-clock allocation) per message.
+    archive_enabled: bool,
+    /// See `archive_enabled`.
     archive: std::collections::BTreeMap<(SiteId, u64), Wire<P>>,
     seen: HashSet<MsgId>,
 }
@@ -96,6 +106,7 @@ impl<P: Clone> CausalBcast<P> {
             relay: false,
             vc: VectorClock::new(n),
             pending: Vec::new(),
+            archive_enabled: true,
             archive: std::collections::BTreeMap::new(),
             seen: HashSet::new(),
         }
@@ -105,6 +116,16 @@ impl<P: Clone> CausalBcast<P> {
     /// or message loss, at `O(N²)` message cost).
     pub fn with_relay(mut self) -> Self {
         self.relay = true;
+        self
+    }
+
+    /// Disables the retransmission archive. Only safe when no peer will
+    /// ever call [`CausalBcast::retransmissions_for`] against this engine's
+    /// history (i.e. loss recovery is off); in exchange, the per-message
+    /// archive clone disappears from the hot path.
+    pub fn without_archive(mut self) -> Self {
+        self.archive_enabled = false;
+        self.archive.clear();
         self
     }
 
@@ -132,17 +153,19 @@ impl<P: Clone> CausalBcast<P> {
             vc: self.vc.clone(),
             payload,
         };
-        self.archive.insert((self.me, seq), wire.clone());
+        if self.archive_enabled {
+            self.archive.insert((self.me, seq), wire.clone());
+        }
         let out = Output {
-            deliveries: vec![Delivery {
+            deliveries: InlineVec::one(Delivery {
                 id,
                 vc: wire.vc.clone(),
                 payload: wire.payload.clone(),
-            }],
-            outbound: vec![Outbound {
+            }),
+            outbound: InlineVec::one(Outbound {
                 dest: Dest::Others,
                 wire,
-            }],
+            }),
         };
         (id, out)
     }
@@ -160,8 +183,10 @@ impl<P: Clone> CausalBcast<P> {
                 wire: wire.clone(),
             });
         }
-        self.archive
-            .insert((wire.id.origin, wire.id.seq), wire.clone());
+        if self.archive_enabled {
+            self.archive
+                .insert((wire.id.origin, wire.id.seq), wire.clone());
+        }
         self.pending.push(wire);
         // Repeatedly scan for deliverable messages; each delivery can
         // unblock others.

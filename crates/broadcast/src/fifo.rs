@@ -85,8 +85,8 @@ impl<P: Clone> FifoBcast<P> {
 
 /// Re-expose an outbound bundle's destinations unchanged (convenience for
 /// transports generic over the layer).
-pub fn outbound_of<P>(out: &Output<P>) -> &[Outbound<Wire<P>>] {
-    &out.outbound
+pub fn outbound_of<P>(out: &Output<P>) -> impl Iterator<Item = &Outbound<Wire<P>>> {
+    out.outbound.iter()
 }
 
 #[cfg(test)]

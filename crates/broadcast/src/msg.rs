@@ -67,14 +67,67 @@ impl<W> Outbound<W> {
     }
 }
 
-/// Expands a [`Dest`] into concrete site ids for a system of `n` sites with
-/// the caller at `me`.
-pub fn expand_dest(dest: Dest, me: SiteId, n: usize) -> Vec<SiteId> {
-    match dest {
-        Dest::All => (0..n).map(SiteId).collect(),
-        Dest::Others => (0..n).map(SiteId).filter(|&s| s != me).collect(),
-        Dest::Site(s) => vec![s],
+/// Non-allocating iterator over the concrete destinations of a [`Dest`];
+/// see [`dest_iter`].
+#[derive(Debug, Clone)]
+pub struct DestIter {
+    next: usize,
+    end: usize,
+    /// Site index to skip (`usize::MAX` when nothing is skipped).
+    skip: usize,
+}
+
+impl Iterator for DestIter {
+    type Item = SiteId;
+
+    fn next(&mut self) -> Option<SiteId> {
+        while self.next < self.end {
+            let i = self.next;
+            self.next += 1;
+            if i != self.skip {
+                return Some(SiteId(i));
+            }
+        }
+        None
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let span = self.end - self.next;
+        let n = span - usize::from(self.skip >= self.next && self.skip < self.end);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DestIter {}
+
+/// Iterates the concrete site ids a [`Dest`] names in a system of `n`
+/// sites with the caller at `me`, in ascending site order — the
+/// allocation-free form of [`expand_dest`], used on the per-send fan-out
+/// hot path.
+pub fn dest_iter(dest: Dest, me: SiteId, n: usize) -> DestIter {
+    match dest {
+        Dest::All => DestIter {
+            next: 0,
+            end: n,
+            skip: usize::MAX,
+        },
+        Dest::Others => DestIter {
+            next: 0,
+            end: n,
+            skip: me.0,
+        },
+        Dest::Site(s) => DestIter {
+            next: s.0,
+            end: s.0 + 1,
+            skip: usize::MAX,
+        },
+    }
+}
+
+/// Expands a [`Dest`] into concrete site ids for a system of `n` sites with
+/// the caller at `me`. Allocates; prefer [`dest_iter`] on hot paths.
+pub fn expand_dest(dest: Dest, me: SiteId, n: usize) -> Vec<SiteId> {
+    dest_iter(dest, me, n).collect()
 }
 
 #[cfg(test)]
@@ -117,6 +170,23 @@ mod tests {
             expand_dest(Dest::Site(SiteId(2)), SiteId(0), 5),
             vec![SiteId(2)]
         );
+    }
+
+    #[test]
+    fn dest_iter_matches_expand_dest() {
+        for n in 1..6 {
+            for me in 0..n {
+                for dest in [Dest::All, Dest::Others, Dest::Site(SiteId(n - 1))] {
+                    let it = dest_iter(dest, SiteId(me), n);
+                    assert_eq!(it.len(), expand_dest(dest, SiteId(me), n).len());
+                    assert_eq!(
+                        it.collect::<Vec<_>>(),
+                        expand_dest(dest, SiteId(me), n),
+                        "dest={dest:?} me={me} n={n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   if the origin crashes mid-broadcast or individual copies are lost.
 
 use crate::msg::{Dest, MsgId, Outbound};
+use bcastdb_sim::inline::InlineVec;
 use bcastdb_sim::SiteId;
 use std::collections::{BTreeMap, HashSet};
 
@@ -52,19 +53,23 @@ pub struct Delivery<P> {
 }
 
 /// Result of feeding the engine one input.
+///
+/// Both lists use inline storage: a broadcast or delivery step almost
+/// always yields at most one outbound bundle and a couple of deliveries,
+/// so the common case constructs no heap allocation at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Output<P> {
     /// Messages now deliverable to the application, in delivery order.
-    pub deliveries: Vec<Delivery<P>>,
+    pub deliveries: InlineVec<Delivery<P>, 2>,
     /// Wire messages to hand to the transport.
-    pub outbound: Vec<Outbound<Wire<P>>>,
+    pub outbound: InlineVec<Outbound<Wire<P>>, 1>,
 }
 
 impl<P> Output<P> {
     fn empty() -> Self {
         Output {
-            deliveries: Vec::new(),
-            outbound: Vec::new(),
+            deliveries: InlineVec::new(),
+            outbound: InlineVec::new(),
         }
     }
 }
@@ -85,6 +90,10 @@ pub struct ReliableBcast<P> {
     /// Everything ever received (for relay dedup); identical to
     /// `delivered + holdback` keys plus in-flight duplicates.
     seen: HashSet<MsgId>,
+    /// Whether the archive is populated. Retransmissions are only ever
+    /// requested via sync rounds, which exist in relay mode; a non-relay
+    /// engine skips the per-message archive insert.
+    archive_enabled: bool,
 }
 
 impl<P: Clone> ReliableBcast<P> {
@@ -103,7 +112,17 @@ impl<P: Clone> ReliableBcast<P> {
             holdback: BTreeMap::new(),
             archive: BTreeMap::new(),
             seen: HashSet::new(),
+            archive_enabled: true,
         }
+    }
+
+    /// Disables the retransmission archive. Correct whenever nothing will
+    /// ever call [`ReliableBcast::retransmissions_for`] on this engine —
+    /// i.e. outside loss-recovery (relay) deployments.
+    pub fn without_archive(mut self) -> Self {
+        self.archive_enabled = false;
+        self.archive.clear();
+        self
     }
 
     /// Enables eager relaying (agreement despite origin crash / loss).
@@ -127,16 +146,18 @@ impl<P: Clone> ReliableBcast<P> {
         };
         self.seen.insert(id);
         self.delivered_seq[self.me.0] = id.seq;
-        self.archive.insert((self.me, id.seq), payload.clone());
+        if self.archive_enabled {
+            self.archive.insert((self.me, id.seq), payload.clone());
+        }
         let out = Output {
-            deliveries: vec![Delivery {
+            deliveries: InlineVec::one(Delivery {
                 id,
                 payload: payload.clone(),
-            }],
-            outbound: vec![Outbound {
+            }),
+            outbound: InlineVec::one(Outbound {
                 dest: Dest::Others,
                 wire: Wire { id, payload },
-            }],
+            }),
         };
         (id, out)
     }
@@ -154,8 +175,10 @@ impl<P: Clone> ReliableBcast<P> {
             });
         }
         let origin = wire.id.origin;
-        self.archive
-            .insert((origin, wire.id.seq), wire.payload.clone());
+        if self.archive_enabled {
+            self.archive
+                .insert((origin, wire.id.seq), wire.payload.clone());
+        }
         self.holdback.insert((origin, wire.id.seq), wire.payload);
         // Drain the FIFO-contiguous prefix for this origin.
         loop {

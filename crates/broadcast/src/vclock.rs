@@ -69,6 +69,13 @@ impl VectorClock {
         self.counts[site.0] = value;
     }
 
+    /// Overwrites this clock with `other`, reusing the existing buffer —
+    /// the allocation-free alternative to `clone` for per-broadcast
+    /// snapshots on the hot path.
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.counts.clone_from(&other.counts);
+    }
+
     /// Increments the component for `site`, returning the new value.
     ///
     /// # Panics

@@ -7,10 +7,11 @@ use crate::payload::{AbcastImpl, ProtocolKind, ReplicaMsg, ReplicaTimer};
 use crate::protocols::{
     atomic::AtomicProto, causal::CausalProto, p2p::P2pProto, reliable::ReliableProto, Effects,
 };
-use crate::state::{ConflictPolicy, SiteState};
+use crate::state::{ConflictPolicy, EventBuf, SiteState};
 use bcastdb_broadcast::batch::{Batch, Batcher};
 use bcastdb_broadcast::membership::{MemberEvent, ViewManager};
-use bcastdb_broadcast::msg::expand_dest;
+use bcastdb_broadcast::msg::dest_iter;
+use bcastdb_sim::inline::InlineVec;
 use bcastdb_sim::telemetry::{Phase, TraceEvent};
 use bcastdb_sim::{Ctx, Node, SendOutcome, SimDuration, SimTime, SiteId};
 use std::collections::BTreeSet;
@@ -224,6 +225,7 @@ impl ReplicaNode {
         self.st.log = snap.log;
         self.st.local.clear();
         self.st.remote.clear();
+        self.st.recount_undecided();
         self.st.locks = bcastdb_db::LockManager::new();
         match (
             &mut self.proto,
@@ -262,7 +264,7 @@ impl ReplicaNode {
         for (dest, msg) in fx.sends.drain(..) {
             let kind = msg.kind();
             let phase = msg.phase();
-            for to in expand_dest(dest, me, ctx.n_sites()) {
+            for to in dest_iter(dest, me, ctx.n_sites()) {
                 if to == me {
                     continue; // self-deliveries are handled internally
                 }
@@ -327,7 +329,14 @@ impl ReplicaNode {
             msgs,
             bytes: bytes as u64,
         });
-        let phases: Vec<Phase> = batch.msgs.iter().map(|m| m.phase()).collect();
+        // The phase list is only consumed if the envelope is lost, but it
+        // must be captured before the messages move into the wire payload.
+        // Inline storage keeps the common (delivered, small-batch) case
+        // allocation-free; only a tracer-off run can skip it entirely.
+        let mut phases: InlineVec<Phase, 16> = InlineVec::new();
+        if self.st.tracer.is_enabled() {
+            phases.extend(batch.msgs.iter().map(|m| m.phase()));
+        }
         if ctx.send_sized(to, ReplicaMsg::Batch(batch.msgs), bytes) == SendOutcome::Dropped {
             // The whole envelope was lost: trace the loss of every logical
             // message it carried, mirroring the unbatched path.
@@ -408,7 +417,7 @@ impl ReplicaNode {
                                 .copied()
                                 .collect();
                             for txn in gone {
-                                let mut events = Vec::new();
+                                let mut events = EventBuf::new();
                                 self.st.apply_remote_abort(
                                     txn,
                                     AbortReason::ViewChange,
@@ -428,7 +437,7 @@ impl ReplicaNode {
                     // locally; the site blocks until it rejoins.
                     let pending: Vec<_> = self.st.local.keys().copied().collect();
                     for txn in pending {
-                        let mut events = Vec::new();
+                        let mut events = EventBuf::new();
                         self.st
                             .abort_local(txn, AbortReason::ViewChange, now, &mut events);
                         self.dispatch_events(fx, now, events);
@@ -493,12 +502,7 @@ impl ReplicaNode {
         }
     }
 
-    fn dispatch_events(
-        &mut self,
-        fx: &mut Effects,
-        now: SimTime,
-        events: Vec<crate::state::LocalEvent>,
-    ) {
+    fn dispatch_events(&mut self, fx: &mut Effects, now: SimTime, events: EventBuf) {
         if events.is_empty() {
             return;
         }
@@ -552,7 +556,7 @@ impl Node for ReplicaNode {
                 }
             }
             ReplicaTimer::ReadStep(id) => {
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 self.st.advance_reads(id, now, &mut events);
                 self.dispatch_events(&mut fx, now, events);
             }

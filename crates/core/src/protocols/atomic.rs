@@ -26,7 +26,7 @@
 use crate::metrics::AbortReason;
 use crate::payload::{AbcastImpl, Payload, ReplicaMsg, TxnPriority};
 use crate::protocols::Effects;
-use crate::state::{txn_ref, LocalEvent, SiteState};
+use crate::state::{txn_ref, EventBuf, LocalEvent, SiteState};
 use bcastdb_broadcast::atomic::{
     AtomicBcast, IsisAbcast, IsisWire, SeqWire, SequencerAbcast, TotalDelivery,
 };
@@ -92,6 +92,10 @@ pub struct AtomicProto {
     /// it is what keeps certification deterministic under partial
     /// replication.
     latest_writer: std::collections::BTreeMap<Key, TxnId>,
+    /// Reusable work queue: taken at each protocol entry point and
+    /// handed back (empty) by `pump`, so steady-state message handling
+    /// never allocates a fresh queue.
+    idle_work: VecDeque<Work>,
 }
 
 impl AtomicProto {
@@ -99,7 +103,9 @@ impl AtomicProto {
     /// atomic-broadcast implementation.
     pub fn new(me: SiteId, n: usize, imp: AbcastImpl) -> Self {
         AtomicProto {
-            cb: CausalBcast::new(me, n),
+            // The atomic protocol never serves retransmissions from its
+            // causal stream, so skip the per-message archive clone.
+            cb: CausalBcast::new(me, n).without_archive(),
             ab: match imp {
                 AbcastImpl::Sequencer => Abcast::Seq(SequencerAbcast::new(me, n)),
                 AbcastImpl::Isis => Abcast::Isis(IsisAbcast::new(me, n)),
@@ -108,6 +114,7 @@ impl AtomicProto {
             cert_queue: VecDeque::new(),
             writing: std::collections::BTreeMap::new(),
             latest_writer: std::collections::BTreeMap::new(),
+            idle_work: VecDeque::new(),
         }
     }
 
@@ -150,7 +157,7 @@ impl AtomicProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        events: Vec<LocalEvent>,
+        events: EventBuf,
     ) {
         let work = events.into_iter().map(Work::Event).collect();
         self.pump(st, fx, now, work);
@@ -166,7 +173,7 @@ impl AtomicProto {
         wire: causal::Wire<Arc<Payload>>,
     ) {
         let out = self.cb.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.route_causal(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -184,7 +191,7 @@ impl AtomicProto {
             return; // configured for ISIS; stray message
         };
         let out = ab.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         Self::route_total_out(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -202,7 +209,7 @@ impl AtomicProto {
             return;
         };
         let out = ab.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         Self::route_isis_out(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -227,10 +234,10 @@ impl AtomicProto {
             .filter(|t| !st.decided.contains_key(t) && !members.contains(&t.origin))
             .copied()
             .collect();
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         for txn in undecided {
             self.cert_queue.retain(|p| p.txn != txn);
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.apply_remote_abort(txn, AbortReason::ViewChange, now, &mut events);
             work.extend(events.into_iter().map(Work::Event));
         }
@@ -307,6 +314,8 @@ impl AtomicProto {
                 Work::TotalDeliver(d) => self.on_total_deliver(st, now, d, &mut work),
             }
         }
+        // The queue is empty again: hand it back for the next entry point.
+        self.idle_work = work;
     }
 
     fn on_event(
@@ -347,7 +356,7 @@ impl AtomicProto {
         // Read locks are released now: from here on the version vectors in
         // the commit request carry the validation burden.
         let granted = st.locks.release_all(id);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.process_grants(granted, now, &mut events);
         work.extend(events.into_iter().map(Work::Event));
 
@@ -374,7 +383,7 @@ impl AtomicProto {
             self.writing.remove(&id);
             return;
         }
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.emit_write_step(st, fx, now, id, 1, &mut work);
         if self.writing.contains_key(&id) {
             fx.write_pauses.push(id);
@@ -398,7 +407,7 @@ impl AtomicProto {
             return;
         };
         let prio = local.prio;
-        let writes = local.spec.writes().to_vec();
+        let writes = local.spec.writes();
         let n_writes = writes.len();
         let read_versions = local.reads_observed.clone();
         let start = self.writing.get(&id).copied().unwrap_or(0);
@@ -524,7 +533,7 @@ impl AtomicProto {
                 .chain(head.write_versions.iter())
                 .all(|(key, expected)| self.latest_writer.get(key).copied() == *expected);
             st.trace_vote(txn, pass, now);
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             if pass {
                 self.wound_conflicting_readers(st, &head, now, &mut events);
                 // Advance the version directory in total order (all keys,
@@ -551,7 +560,7 @@ impl AtomicProto {
         st: &mut SiteState,
         cert: &PendingCert,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         let write_keys: Vec<Key> = st
             .remote

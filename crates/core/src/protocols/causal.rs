@@ -36,7 +36,7 @@
 use crate::metrics::AbortReason;
 use crate::payload::{Payload, ReplicaMsg, TxnPriority};
 use crate::protocols::Effects;
-use crate::state::{LocalEvent, SiteState};
+use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_broadcast::causal::{self, CausalBcast};
 use bcastdb_broadcast::VectorClock;
 use bcastdb_db::{Key, TxnId};
@@ -93,19 +93,47 @@ pub struct CausalProto {
     /// delivered commit request, our implicit acknowledgement has not been
     /// published yet and a null message is due.
     last_bcast_vc: VectorClock,
+    /// Reusable work queue: taken at each protocol entry point and
+    /// handed back (empty) by `pump`, so steady-state message handling
+    /// never allocates a fresh queue.
+    idle_work: VecDeque<Work>,
+    /// Transactions whose commit request is delivered but whose outcome is
+    /// not yet in `st.decided` — the only transactions a new implicit
+    /// acknowledgement can advance. `info` grows for the whole run (its
+    /// write-op clocks stay relevant to concurrency classification), so
+    /// the per-delivery ack scan walks this small index instead of the
+    /// full map; entries are dropped lazily once the decision lands.
+    ack_waiting: BTreeSet<TxnId>,
+    /// Per-origin maximum commit-request sequence delivered so far.
+    /// `cr_seq` values from one origin only grow, so "some delivered
+    /// commit request is not covered by our last broadcast" reduces to
+    /// comparing this clock against `last_bcast_vc` — O(n) per tick
+    /// instead of a scan over every transaction ever seen.
+    max_cr_seq: VectorClock,
+    /// Transactions with at least one delivered write operation and no
+    /// decision yet — the candidate set for per-key concurrency
+    /// classification on each delivered write. Pruned lazily as
+    /// decisions land, like [`CausalProto::ack_waiting`].
+    open_writers: BTreeSet<TxnId>,
 }
 
 impl CausalProto {
     /// Creates the protocol instance for site `me` of `n`.
     pub fn new(me: SiteId, n: usize) -> Self {
         CausalProto {
-            cb: CausalBcast::new(me, n),
+            // Without loss recovery nobody ever asks this engine for
+            // retransmissions, so skip the per-message archive clone.
+            cb: CausalBcast::new(me, n).without_archive(),
             view: (0..n).map(SiteId).collect(),
             info: BTreeMap::new(),
             null_messages: true,
             recover_losses: false,
             writing: BTreeMap::new(),
             last_bcast_vc: VectorClock::new(n),
+            idle_work: VecDeque::new(),
+            ack_waiting: BTreeSet::new(),
+            max_cr_seq: VectorClock::new(n),
+            open_writers: BTreeSet::new(),
         }
     }
 
@@ -134,10 +162,9 @@ impl CausalProto {
     }
 
     fn has_unpublished_ack(&self) -> bool {
-        self.info.iter().any(|(txn, i)| {
-            i.cr_seq
-                .is_some_and(|k| self.last_bcast_vc.get(txn.origin) < k)
-        })
+        self.max_cr_seq
+            .iter()
+            .any(|(origin, k)| self.last_bcast_vc.get(origin) < k)
     }
 
     /// The causal engine's delivered-messages clock (state transfer).
@@ -152,6 +179,9 @@ impl CausalProto {
         self.cb.resume_from(donor_clock);
         self.last_bcast_vc = self.cb.clock().clone();
         self.info.clear();
+        self.ack_waiting.clear();
+        self.max_cr_seq = VectorClock::new(self.max_cr_seq.len());
+        self.open_writers.clear();
         self.view = view;
     }
 
@@ -161,7 +191,7 @@ impl CausalProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        events: Vec<LocalEvent>,
+        events: EventBuf,
     ) {
         let work = events.into_iter().map(Work::Event).collect();
         self.pump(st, fx, now, work);
@@ -178,7 +208,7 @@ impl CausalProto {
         wire: causal::Wire<Arc<Payload>>,
     ) {
         let out = self.cb.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.route(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -211,7 +241,7 @@ impl CausalProto {
             }
         }
         let out = self.cb.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.route(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -226,7 +256,7 @@ impl CausalProto {
                 || self.has_unpublished_ack()
                 || (self.recover_losses && self.cb.pending_len() > 0))
         {
-            let mut work = VecDeque::new();
+            let mut work = std::mem::take(&mut self.idle_work);
             self.bcast(fx, Payload::Null, &mut work);
             self.pump(st, fx, now, work);
         }
@@ -248,10 +278,10 @@ impl CausalProto {
             .filter(|t| !st.decided.contains_key(t))
             .copied()
             .collect();
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         for txn in undecided {
             if !self.view.contains(&txn.origin) {
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 st.apply_remote_abort(txn, AbortReason::ViewChange, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             } else {
@@ -265,7 +295,7 @@ impl CausalProto {
         // The single payload allocation of this broadcast: every wire copy
         // and archive entry from here on is a refcount bump.
         let (_, out) = self.cb.broadcast(Arc::new(payload));
-        self.last_bcast_vc = self.cb.clock().clone();
+        self.last_bcast_vc.copy_from(self.cb.clock());
         self.route(fx, out, work);
     }
 
@@ -297,6 +327,8 @@ impl CausalProto {
                 Work::FinishWrite(id) => self.finish_write(st, fx, now, id, &mut work),
             }
         }
+        // The queue is empty again: hand it back for the next entry point.
+        self.idle_work = work;
     }
 
     fn on_event(
@@ -312,7 +344,7 @@ impl CausalProto {
             LocalEvent::RemotePrepared(id) => {
                 // Locks complete: if the commit was already decided, apply.
                 if self.info.get(&id).is_some_and(|i| i.commit_pending) {
-                    let mut events = Vec::new();
+                    let mut events = EventBuf::new();
                     st.apply_commit(id, now, &mut events);
                     work.extend(events.into_iter().map(Work::Event));
                 }
@@ -363,7 +395,7 @@ impl CausalProto {
             self.writing.remove(&id);
             return;
         }
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.emit_write_step(st, fx, id, 1, &mut work);
         if self.writing.contains_key(&id) {
             fx.write_pauses.push(id);
@@ -386,7 +418,7 @@ impl CausalProto {
             return;
         };
         let prio = local.prio;
-        let writes = local.spec.writes().to_vec();
+        let writes = local.spec.writes();
         let n_writes = writes.len();
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
@@ -496,7 +528,12 @@ impl CausalProto {
                 entry.commit_req_seen = true;
                 entry.n_writes = Some(n_writes);
                 let info = self.info.entry(txn).or_default();
-                info.cr_seq = Some(d.vc.get(txn.origin));
+                let cr_seq = d.vc.get(txn.origin);
+                info.cr_seq = Some(cr_seq);
+                if cr_seq > self.max_cr_seq.get(txn.origin) {
+                    self.max_cr_seq.set(txn.origin, cr_seq);
+                }
+                self.ack_waiting.insert(txn);
                 // The sender trivially acknowledged its own request, and we
                 // just delivered it ourselves.
                 info.acked.insert(txn.origin);
@@ -538,17 +575,30 @@ impl CausalProto {
         vc: &VectorClock,
         work: &mut VecDeque<Work>,
     ) {
-        let candidates: Vec<TxnId> = self
-            .info
-            .iter()
-            .filter(|(txn, info)| {
-                !st.decided.contains_key(txn)
-                    && info
-                        .cr_seq
-                        .is_some_and(|k| vc.get(txn.origin) >= k && !info.acked.contains(&sender))
-            })
-            .map(|(&txn, _)| txn)
-            .collect();
+        // Walk the undecided index, not the full `info` map: transactions
+        // whose commit request has not been delivered have no ack set to
+        // advance, and decided ones (pruned lazily here) are settled.
+        let mut candidates: Vec<TxnId> = Vec::new();
+        let mut settled: Vec<TxnId> = Vec::new();
+        for &txn in &self.ack_waiting {
+            if st.decided.contains_key(&txn) {
+                settled.push(txn);
+                continue;
+            }
+            let Some(info) = self.info.get(&txn) else {
+                settled.push(txn);
+                continue;
+            };
+            if info
+                .cr_seq
+                .is_some_and(|k| vc.get(txn.origin) >= k && !info.acked.contains(&sender))
+            {
+                candidates.push(txn);
+            }
+        }
+        for txn in settled {
+            self.ack_waiting.remove(&txn);
+        }
         for txn in candidates {
             self.info
                 .get_mut(&txn)
@@ -579,19 +629,37 @@ impl CausalProto {
             .or_default()
             .write_ops
             .insert(op.key.clone(), vc.clone());
+        self.open_writers.insert(txn);
         // Early conflict detection: another *operation* on the same key
         // whose clock is concurrent with this one means the two
-        // transactions conflict irreconcilably.
-        let peers: Vec<(TxnId, TxnPriority)> = st
-            .remote
-            .iter()
-            .filter(|(peer, _)| **peer != txn && !st.decided.contains_key(peer))
-            .filter_map(|(&peer, entry)| {
-                let pinfo = self.info.get(&peer)?;
-                let pvc = pinfo.write_ops.get(&op.key)?;
-                pvc.concurrent_with(vc).then_some((peer, entry.prio))
-            })
-            .collect();
+        // transactions conflict irreconcilably. Only undecided writers can
+        // conflict, so walk the `open_writers` index (pruning what has
+        // been decided since) rather than every transaction in `st.remote`.
+        let mut peers: Vec<(TxnId, TxnPriority)> = Vec::new();
+        let mut settled: Vec<TxnId> = Vec::new();
+        for &peer in &self.open_writers {
+            if peer == txn {
+                continue;
+            }
+            if st.decided.contains_key(&peer) {
+                settled.push(peer);
+                continue;
+            }
+            let Some(entry) = st.remote.get(&peer) else {
+                continue;
+            };
+            let Some(pinfo) = self.info.get(&peer) else {
+                continue;
+            };
+            if let Some(pvc) = pinfo.write_ops.get(&op.key) {
+                if pvc.concurrent_with(vc) {
+                    peers.push((peer, entry.prio));
+                }
+            }
+        }
+        for peer in settled {
+            self.open_writers.remove(&peer);
+        }
         let mut doomed_self = false;
         for (peer, peer_prio) in peers {
             let loser = if prio.older_than(&peer_prio) {
@@ -607,7 +675,7 @@ impl CausalProto {
         if doomed_self || st.decided.contains_key(&txn) {
             return; // no point acquiring locks for a dead transaction
         }
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(txn, prio, op, of, now, &mut events);
         work.extend(events.into_iter().map(Work::Event));
     }
@@ -649,7 +717,7 @@ impl CausalProto {
             }
         }
         for reader in wound {
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.abort_local(reader, AbortReason::Wounded, now, &mut events);
             work.extend(events.into_iter().map(Work::Event));
         }
@@ -681,7 +749,7 @@ impl CausalProto {
             st.trace_vote(txn, false, now);
             self.bcast(fx, Payload::Nack { txn, site }, work);
         }
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.apply_remote_abort(txn, AbortReason::ConcurrentConflict, now, &mut events);
         work.extend(events.into_iter().map(Work::Event));
     }
@@ -703,7 +771,7 @@ impl CausalProto {
             return;
         };
         if !info.nacked.is_empty() {
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.apply_remote_abort(txn, AbortReason::ConcurrentConflict, now, &mut events);
             work.extend(events.into_iter().map(Work::Event));
             return;
@@ -721,7 +789,7 @@ impl CausalProto {
         // window, so every concurrent conflicting candidate operation is
         // already delivered here. An older peer with a same-key
         // operation concurrent with ours → we abort.
-        let my_ops = info.write_ops.clone();
+        let my_ops = &info.write_ops;
         let my_prio = entry.prio;
         let loses = self.info.iter().any(|(peer, pinfo)| {
             if *peer == txn {
@@ -738,7 +806,7 @@ impl CausalProto {
                         .is_some_and(|pvc| pvc.concurrent_with(my_vc))
                 })
         });
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         if loses {
             st.trace_decided(txn, false, now);
             st.apply_remote_abort(txn, AbortReason::ConcurrentConflict, now, &mut events);

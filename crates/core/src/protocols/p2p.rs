@@ -18,7 +18,7 @@
 use crate::metrics::AbortReason;
 use crate::payload::{P2pMsg, ReplicaMsg, TxnPriority};
 use crate::protocols::Effects;
-use crate::state::{LocalEvent, SiteState};
+use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_db::{TxnId, WriteOp};
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
 use std::collections::{BTreeMap, VecDeque};
@@ -77,7 +77,7 @@ impl P2pProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        events: Vec<LocalEvent>,
+        events: EventBuf,
     ) {
         let work = events.into_iter().map(Work::Event).collect();
         self.pump(st, fx, now, work);
@@ -295,7 +295,7 @@ impl P2pProto {
                         num: txn.num,
                     });
                 let key = op.key.clone();
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 // `of` is unknown at remote sites until the commit request;
                 // use a sentinel larger than any index so fully_prepared
                 // stays false until then.
@@ -371,7 +371,7 @@ impl P2pProto {
                 let all_yes = (0..n).all(|s| entry.votes_yes.contains(&SiteId(s)));
                 let any_no = !entry.votes_no.is_empty();
                 let prepared = entry.fully_prepared();
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 if any_no {
                     st.apply_remote_abort(txn, AbortReason::NegativeVote, now, &mut events);
                     self.driving.remove(&txn);
@@ -382,7 +382,7 @@ impl P2pProto {
                 work.extend(events.into_iter().map(Work::Event));
             }
             P2pMsg::Abort { txn } => {
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 st.apply_remote_abort(txn, AbortReason::Timeout, now, &mut events);
                 self.driving.remove(&txn);
                 work.extend(events.into_iter().map(Work::Event));
@@ -450,7 +450,7 @@ impl P2pProto {
                 fx.send_to(site, ReplicaMsg::P2p(P2pMsg::Abort { txn }));
             }
         }
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.apply_remote_abort(txn, reason, now, &mut events);
         work.extend(events.into_iter().map(Work::Event));
     }

@@ -16,7 +16,7 @@
 use crate::metrics::AbortReason;
 use crate::payload::{Payload, ReplicaMsg, TxnPriority};
 use crate::protocols::Effects;
-use crate::state::{LocalEvent, SiteState};
+use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_broadcast::reliable::{self, ReliableBcast};
 use bcastdb_db::TxnId;
 use bcastdb_sim::{SimTime, SiteId};
@@ -42,13 +42,21 @@ pub struct ReliableProto {
     /// Paced write phases: next operation index per local transaction
     /// (only used when the cluster configures per-operation think time).
     writing: std::collections::BTreeMap<TxnId, usize>,
+    /// Reusable work queue: taken at each protocol entry point and
+    /// handed back (empty) by `pump`, so steady-state message handling
+    /// never allocates a fresh queue.
+    idle_work: VecDeque<Work>,
 }
 
 impl ReliableProto {
     /// Creates the protocol instance for site `me` of `n`.
     pub fn new(me: SiteId, n: usize) -> Self {
         ReliableProto {
-            rb: ReliableBcast::new(me, n),
+            idle_work: VecDeque::new(),
+            // Without loss recovery nobody ever sends a sync round, so no
+            // retransmission is ever requested: skip the per-message
+            // archive insert.
+            rb: ReliableBcast::new(me, n).without_archive(),
             view: (0..n).map(SiteId).collect(),
             writing: std::collections::BTreeMap::new(),
         }
@@ -59,6 +67,7 @@ impl ReliableProto {
     /// (at `O(N²)` message cost).
     pub fn new_with_relay(me: SiteId, n: usize) -> Self {
         ReliableProto {
+            idle_work: VecDeque::new(),
             rb: ReliableBcast::new(me, n).with_relay(),
             view: (0..n).map(SiteId).collect(),
             writing: std::collections::BTreeMap::new(),
@@ -83,7 +92,7 @@ impl ReliableProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        events: Vec<LocalEvent>,
+        events: EventBuf,
     ) {
         let work = events.into_iter().map(Work::Event).collect();
         self.pump(st, fx, now, work);
@@ -99,7 +108,7 @@ impl ReliableProto {
         wire: reliable::Wire<Arc<Payload>>,
     ) {
         let out = self.rb.on_wire(from, wire);
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.route(fx, out, &mut work);
         self.pump(st, fx, now, work);
     }
@@ -139,10 +148,10 @@ impl ReliableProto {
             .filter(|t| !st.decided.contains_key(t))
             .copied()
             .collect();
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         for txn in undecided {
             if !self.view.contains(&txn.origin) {
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 st.apply_remote_abort(txn, AbortReason::ViewChange, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             } else {
@@ -189,6 +198,8 @@ impl ReliableProto {
                 Work::Deliver(p) => self.on_deliver(st, fx, now, p, &mut work),
             }
         }
+        // The queue is empty again: hand it back for the next entry point.
+        self.idle_work = work;
     }
 
     fn on_event(
@@ -254,7 +265,7 @@ impl ReliableProto {
             self.writing.remove(&id);
             return;
         }
-        let mut work = VecDeque::new();
+        let mut work = std::mem::take(&mut self.idle_work);
         self.emit_write_step(st, fx, now, id, 1, &mut work);
         if self.writing.contains_key(&id) {
             fx.write_pauses.push(id);
@@ -279,7 +290,7 @@ impl ReliableProto {
             return;
         };
         let prio = local.prio;
-        let writes = local.spec.writes().to_vec();
+        let writes = local.spec.writes();
         let n_writes = writes.len();
         let start = self.writing.get(&id).copied().unwrap_or(0);
         let end = start.saturating_add(budget).min(n_writes);
@@ -327,7 +338,7 @@ impl ReliableProto {
             Payload::Write {
                 txn, prio, op, of, ..
             } => {
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 st.deliver_write_op(*txn, *prio, op.clone(), *of, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             }
@@ -381,7 +392,7 @@ impl ReliableProto {
                     .get(&txn)
                     .and_then(|e| e.doomed)
                     .unwrap_or(AbortReason::Wounded);
-                let mut events = Vec::new();
+                let mut events = EventBuf::new();
                 st.apply_remote_abort(txn, reason, now, &mut events);
                 work.extend(events.into_iter().map(Work::Event));
             }
@@ -426,12 +437,12 @@ impl ReliableProto {
             }
         }
         for reader in wound {
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.abort_local(reader, AbortReason::Wounded, now, &mut events);
             work.extend(events.into_iter().map(Work::Event));
         }
         if veto_writer {
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.doom_remote(txn, AbortReason::Wounded, &mut events);
             work.extend(events.into_iter().map(Work::Event));
         }
@@ -470,7 +481,7 @@ impl ReliableProto {
             // Older transactions queued behind this now-prepared holder
             // must not wait for an irrevocable vote: doom them here (we
             // vote NO for them when their commit requests arrive).
-            let mut events = Vec::new();
+            let mut events = EventBuf::new();
             st.doom_older_waiters_behind(txn, &mut events);
             work.extend(events.into_iter().map(Work::Event));
         }
@@ -493,7 +504,7 @@ impl ReliableProto {
         let Some(entry) = st.remote.get(&txn) else {
             return;
         };
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         if !entry.votes_no.is_empty() {
             let reason = entry.doomed.unwrap_or(AbortReason::NegativeVote);
             st.apply_remote_abort(txn, reason, now, &mut events);
@@ -592,7 +603,7 @@ mod tests {
         // A read-only transaction at site 1 holds S("x") and is blocked on a
         // second key held exclusively, so it stays live.
         let blocker = TxnId::new(SiteId(0), 99);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         rig.states[1].deliver_write_op(
             blocker,
             crate::payload::TxnPriority {

@@ -144,6 +144,14 @@ pub enum LocalEvent {
     ReadPaused(TxnId),
 }
 
+/// The event buffer handed to every state-transition method.
+///
+/// A single delivery or timer step produces at most a couple of events, so
+/// inline storage keeps the hot path allocation-free; rare bursts (a view
+/// change aborting many transactions at once) spill to the heap and stay
+/// correct. The alloc-audit test in `crates/bench/tests/` ratchets this.
+pub type EventBuf = bcastdb_sim::inline::InlineVec<LocalEvent, 4>;
+
 /// The result of a terminated transaction, recorded for the cluster facade
 /// and the serializability checker.
 #[derive(Debug, Clone)]
@@ -218,6 +226,13 @@ pub struct SiteState {
     /// Origin-side records for the serializability checker.
     pub terminations: Vec<TerminationRecord>,
     next_txn_num: u64,
+    /// Count of `remote` entries absent from `decided`, so
+    /// [`SiteState::has_undecided`] — consulted on every tick-arming
+    /// decision — is O(1) instead of a scan of the full-history `remote`
+    /// map. Maintained by [`SiteState::remote_entry`] and the
+    /// `mark_decided` helper; recomputed wholesale after a state transfer
+    /// by [`SiteState::recount_undecided`].
+    undecided_remote: usize,
 }
 
 impl SiteState {
@@ -244,6 +259,7 @@ impl SiteState {
             decided: BTreeMap::new(),
             terminations: Vec::new(),
             next_txn_num: 0,
+            undecided_remote: 0,
         }
     }
 
@@ -288,7 +304,27 @@ impl SiteState {
 
     /// True iff this site knows of any transaction that has not terminated.
     pub fn has_undecided(&self) -> bool {
-        !self.local.is_empty() || self.remote.keys().any(|t| !self.decided.contains_key(t))
+        !self.local.is_empty() || self.undecided_remote > 0
+    }
+
+    /// Records a transaction's outcome, keeping the undecided-remote count
+    /// in step. Every `decided` insertion must go through here.
+    fn mark_decided(&mut self, id: TxnId, committed: bool) {
+        if self.decided.insert(id, committed).is_none() && self.remote.contains_key(&id) {
+            self.undecided_remote -= 1;
+        }
+    }
+
+    /// Recomputes the undecided-remote count from scratch. For the one
+    /// place that rewrites `remote` and `decided` wholesale (state
+    /// transfer into a recovering replica) rather than through
+    /// [`SiteState::remote_entry`] and decision application.
+    pub fn recount_undecided(&mut self) {
+        self.undecided_remote = self
+            .remote
+            .keys()
+            .filter(|t| !self.decided.contains_key(t))
+            .count();
     }
 
     // ------------------------------------------------------------------
@@ -298,7 +334,7 @@ impl SiteState {
     /// Registers a freshly submitted transaction and starts its read phase.
     /// Returns the id plus any events (the read phase may complete
     /// immediately).
-    pub fn begin_txn(&mut self, now: SimTime, spec: TxnSpec) -> (TxnId, Vec<LocalEvent>) {
+    pub fn begin_txn(&mut self, now: SimTime, spec: TxnSpec) -> (TxnId, EventBuf) {
         self.next_txn_num += 1;
         let id = TxnId::new(self.me, self.next_txn_num);
         let prio = TxnPriority {
@@ -323,7 +359,7 @@ impl SiteState {
                 reads_observed: Vec::new(),
             },
         );
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         self.advance_reads(id, now, &mut events);
         (id, events)
     }
@@ -332,7 +368,7 @@ impl SiteState {
     /// allow. Emits [`LocalEvent::ReadsComplete`] when an update
     /// transaction becomes ready for its write phase; commits read-only
     /// transactions on the spot.
-    pub fn advance_reads(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+    pub fn advance_reads(&mut self, id: TxnId, now: SimTime, events: &mut EventBuf) {
         loop {
             let Some(txn) = self.local.get(&id) else {
                 return; // aborted meanwhile
@@ -397,7 +433,7 @@ impl SiteState {
     }
 
     /// Commits a read-only transaction locally: record, measure, release.
-    fn commit_read_only(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+    fn commit_read_only(&mut self, id: TxnId, now: SimTime, events: &mut EventBuf) {
         let txn = self.local.remove(&id).expect("present");
         let latency = now.saturating_since(txn.submitted);
         self.metrics.commit_readonly(latency, now);
@@ -407,7 +443,7 @@ impl SiteState {
             site: me,
             txn: txn_ref(id),
         });
-        self.decided.insert(id, true);
+        self.mark_decided(id, true);
         self.terminations.push(TerminationRecord {
             txn: id,
             committed: true,
@@ -425,7 +461,7 @@ impl SiteState {
         id: TxnId,
         reason: AbortReason,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         let Some(gone) = self.local.remove(&id) else {
             return; // already gone
@@ -444,7 +480,7 @@ impl SiteState {
             // read-only experiments can report it.
             self.metrics.counters.incr("aborts_readonly");
         }
-        self.decided.insert(id, false);
+        self.mark_decided(id, false);
         self.log.log_abort(id);
         self.terminations.push(TerminationRecord {
             txn: id,
@@ -464,6 +500,9 @@ impl SiteState {
     /// (older) priority refines any placeholder recorded earlier — votes
     /// can arrive before the write ops that carry the real priority.
     pub fn remote_entry(&mut self, id: TxnId, prio: TxnPriority) -> &mut RemoteTxn {
+        if !self.remote.contains_key(&id) && !self.decided.contains_key(&id) {
+            self.undecided_remote += 1;
+        }
         let e = self
             .remote
             .entry(id)
@@ -487,7 +526,7 @@ impl SiteState {
         op: WriteOp,
         of: usize,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         if self.decided.contains_key(&id) {
             return; // already terminated (e.g. wounded before this op arrived)
@@ -524,7 +563,7 @@ impl SiteState {
         prio: TxnPriority,
         key: &Key,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         loop {
             match self.locks.request(id, key, LockMode::Exclusive) {
@@ -645,7 +684,7 @@ impl SiteState {
     /// unprepared broadcast transaction in it. Prepared (voted) holders and
     /// readers are never victims: prepared transactions terminate on their
     /// own, and the paper guarantees read-only transactions never abort.
-    fn resolve_deadlock(&mut self, events: &mut Vec<LocalEvent>) {
+    fn resolve_deadlock(&mut self, events: &mut EventBuf) {
         let Some(cycle) = self.locks.find_deadlock() else {
             return;
         };
@@ -673,7 +712,7 @@ impl SiteState {
     /// requester could never have queued behind an unvoted younger holder;
     /// under wait-die it legally does, so this hook is what keeps the
     /// prepared rule airtight for both policies.
-    pub fn doom_older_waiters_behind(&mut self, id: TxnId, events: &mut Vec<LocalEvent>) {
+    pub fn doom_older_waiters_behind(&mut self, id: TxnId, events: &mut EventBuf) {
         let Some(entry) = self.remote.get(&id) else {
             return;
         };
@@ -708,7 +747,7 @@ impl SiteState {
     }
 
     /// Condemns a broadcast transaction at this site.
-    pub fn doom_remote(&mut self, id: TxnId, reason: AbortReason, events: &mut Vec<LocalEvent>) {
+    pub fn doom_remote(&mut self, id: TxnId, reason: AbortReason, events: &mut EventBuf) {
         let Some(entry) = self.remote.get_mut(&id) else {
             return;
         };
@@ -742,7 +781,7 @@ impl SiteState {
 
     /// Emits [`LocalEvent::RemotePrepared`] if `id` just became fully
     /// prepared.
-    pub fn check_prepared(&self, id: TxnId, events: &mut Vec<LocalEvent>) {
+    pub fn check_prepared(&self, id: TxnId, events: &mut EventBuf) {
         if let Some(entry) = self.remote.get(&id) {
             if entry.doomed.is_none() && entry.fully_prepared() {
                 events.push(LocalEvent::RemotePrepared(id));
@@ -760,7 +799,7 @@ impl SiteState {
     ///
     /// # Panics
     /// Panics if the full write set has not been delivered.
-    pub fn apply_commit(&mut self, id: TxnId, now: SimTime, events: &mut Vec<LocalEvent>) {
+    pub fn apply_commit(&mut self, id: TxnId, now: SimTime, events: &mut EventBuf) {
         if self.decided.contains_key(&id) {
             return;
         }
@@ -778,7 +817,7 @@ impl SiteState {
             .collect();
         self.store.apply(id, &held);
         self.log.log_commit(id, held);
-        self.decided.insert(id, true);
+        self.mark_decided(id, true);
         let me = self.me;
         self.tracer.emit(|| TraceEvent::Commit {
             at: now,
@@ -808,12 +847,12 @@ impl SiteState {
         id: TxnId,
         reason: AbortReason,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         if self.decided.contains_key(&id) {
             return;
         }
-        self.decided.insert(id, false);
+        self.mark_decided(id, false);
         self.log.log_abort(id);
         let me = self.me;
         self.tracer.emit(|| TraceEvent::Abort {
@@ -843,7 +882,7 @@ impl SiteState {
         &mut self,
         granted: Vec<GrantedFromQueue>,
         now: SimTime,
-        events: &mut Vec<LocalEvent>,
+        events: &mut EventBuf,
     ) {
         for g in granted {
             match g.mode {
@@ -930,7 +969,7 @@ mod tests {
     fn delivered_write_op_prepares_remote_txn() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 5), 1, SimTime::ZERO, &mut events);
         assert_eq!(events, vec![LocalEvent::RemotePrepared(t)]);
         assert!(st.remote[&t].fully_prepared());
@@ -940,7 +979,7 @@ mod tests {
     fn multi_op_txn_prepares_after_last_op() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 5), 2, SimTime::ZERO, &mut events);
         assert!(events.is_empty());
         st.deliver_write_op(t, prio(1, 1, 1), wop("y", 6), 2, SimTime::ZERO, &mut events);
@@ -954,7 +993,7 @@ mod tests {
         // unrelated queue so it stays active... simplest: a read-only txn
         // with two reads where the second is blocked.
         let t_w = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         // Pre-hold x with an exclusive remote lock so the reader queues.
         st.deliver_write_op(
             t_w,
@@ -981,7 +1020,7 @@ mod tests {
         // Pin "y" with a remote exclusive lock so the local reader stays in
         // its read phase: it gets S on "x", then queues on "y".
         let blocker = TxnId::new(SiteId(2), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             blocker,
             prio(0, 2, 1),
@@ -1022,7 +1061,7 @@ mod tests {
             TxnSpec::new().read("x").write("z", 1),
         );
         let t_w = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             t_w,
             prio(500, 1, 1),
@@ -1041,7 +1080,7 @@ mod tests {
         let mut st = state();
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             young,
             prio(100, 1, 1),
@@ -1072,7 +1111,7 @@ mod tests {
         let mut st = state();
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             young,
             prio(100, 1, 1),
@@ -1107,7 +1146,7 @@ mod tests {
         let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WaitDie);
         let old = TxnId::new(SiteId(1), 1);
         let young = TxnId::new(SiteId(2), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             old,
             prio(1, 1, 1),
@@ -1133,7 +1172,7 @@ mod tests {
         let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WaitDie);
         let young = TxnId::new(SiteId(1), 1);
         let old = TxnId::new(SiteId(2), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(
             young,
             prio(100, 1, 1),
@@ -1159,7 +1198,7 @@ mod tests {
     fn apply_commit_installs_and_releases() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
         events.clear();
         st.apply_commit(t, SimTime::from_micros(10), &mut events);
@@ -1174,7 +1213,7 @@ mod tests {
     fn commit_before_full_write_set_panics() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 2, SimTime::ZERO, &mut events);
         st.apply_commit(t, SimTime::ZERO, &mut events);
     }
@@ -1183,7 +1222,7 @@ mod tests {
     fn duplicate_decisions_are_idempotent() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
         st.apply_commit(t, SimTime::ZERO, &mut events);
         st.apply_commit(t, SimTime::ZERO, &mut events);
@@ -1196,7 +1235,7 @@ mod tests {
     fn write_op_after_decision_is_ignored() {
         let mut st = state();
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
         st.apply_remote_abort(t, AbortReason::NegativeVote, SimTime::ZERO, &mut events);
         events.clear();
@@ -1213,7 +1252,7 @@ mod tests {
         let mut st = state();
         assert!(!st.has_undecided());
         let t = TxnId::new(SiteId(1), 1);
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(t, prio(1, 1, 1), wop("x", 7), 1, SimTime::ZERO, &mut events);
         assert!(st.has_undecided());
         st.apply_commit(t, SimTime::ZERO, &mut events);
@@ -1228,7 +1267,7 @@ mod tests {
         let (id, ev) = st.begin_txn(SimTime::ZERO, TxnSpec::new().read("x").write("x", 1));
         assert_eq!(ev, vec![LocalEvent::ReadsComplete(id)]);
         let p = st.local[&id].prio;
-        let mut events = Vec::new();
+        let mut events = EventBuf::new();
         st.deliver_write_op(id, p, wop("x", 1), 1, SimTime::from_micros(1), &mut events);
         assert_eq!(events, vec![LocalEvent::RemotePrepared(id)]);
         assert!(st.locks.holds(id, &Key::new("x"), LockMode::Exclusive));

@@ -1,13 +1,80 @@
-//! The simulator's event queue.
+//! The simulator's event queue: a timing-wheel (calendar-queue) scheduler.
 //!
 //! Events are ordered by `(time, sequence)` where `sequence` is a strictly
 //! increasing insertion counter: two events scheduled for the same instant
 //! fire in the order they were scheduled. This tie-break is what makes whole
 //! simulation runs reproducible bit-for-bit.
+//!
+//! # Design
+//!
+//! The queue is a single-level timing wheel in the style of Varghese &
+//! Lauck's calendar queues, chosen over a `BinaryHeap` because the
+//! simulator's schedule horizon is short and dense: almost every event is a
+//! network delivery or protocol tick landing within a few virtual
+//! milliseconds of "now", so `O(1)` bucket insertion beats `O(log n)`
+//! sift-down on the hot path. Four structures cooperate:
+//!
+//! - **`ready`** — events at exactly the current cursor time, in seq order.
+//!   Popping the front is the common fast path.
+//! - **the wheel** — [`WHEEL_SLOTS`] buckets of one virtual microsecond
+//!   each. An event with `0 < time - cursor < WHEEL_SLOTS` lives in slot
+//!   `time % WHEEL_SLOTS`. Because every resident delta is smaller than one
+//!   revolution, a slot holds events of **exactly one** timestamp, and
+//!   because the insertion seq only grows, each slot's vector is sorted by
+//!   seq *by construction* — no per-slot sorting, ever. A 1-bit-per-slot
+//!   occupancy bitmap (plus a 1-bit-per-word summary) finds the next
+//!   non-empty slot in a handful of word scans.
+//! - **`far`** — a `BinaryHeap` for events at or beyond one wheel
+//!   revolution (long timers, workload arrivals scheduled far ahead). Far
+//!   events are *not* cascaded into the wheel as the cursor approaches —
+//!   they are merged (by seq) with the wheel slot of the same timestamp at
+//!   pop time, which is what preserves the FIFO tie-break exactly.
+//! - **`past`** — a `BinaryHeap` for events scheduled strictly before the
+//!   cursor. The simulation driver never does this, but the queue stays a
+//!   faithful stable priority queue even for pathological schedules.
+//!
+//! Pop order is **identical** to the previous `BinaryHeap` implementation
+//! for every schedule; the property tests at the bottom of this module and
+//! the cross-implementation tests in `tests/` hold the two in lock-step.
+//!
+//! # Examples
+//!
+//! Same-time events pop in the order they were scheduled:
+//!
+//! ```
+//! use bcastdb_sim::{EventKind, EventQueue, SimTime, SiteId};
+//!
+//! let mut q: EventQueue<&str, ()> = EventQueue::new();
+//! let at = |us| SimTime::from_micros(us);
+//! let msg = |s: &'static str| EventKind::Deliver {
+//!     from: SiteId(0),
+//!     to: SiteId(1),
+//!     msg: s,
+//! };
+//! q.schedule(at(20), msg("late"));
+//! q.schedule(at(10), msg("first"));
+//! q.schedule(at(10), msg("second"));
+//! assert_eq!(q.peek_time(), Some(at(10)));
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop())
+//!     .map(|e| (e.time.as_micros(), e.seq))
+//!     .collect();
+//! assert_eq!(order, vec![(10, 1), (10, 2), (20, 0)]);
+//! ```
 
 use crate::{SimTime, SiteId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Number of one-microsecond slots in the timing wheel (one revolution).
+///
+/// 8192 µs comfortably covers the LAN latency/tick horizon the experiments
+/// schedule into; anything further out (long failure-detector timeouts,
+/// workload arrivals injected at absolute times) takes the `far` heap path,
+/// which is exactly the old binary-heap behavior.
+const WHEEL_SLOTS: usize = 8192;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+/// Occupancy bitmap words (64 slots per word).
+const OCC_WORDS: usize = WHEEL_SLOTS / 64;
 
 /// What an [`Event`] does when it fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,7 +123,8 @@ impl<M, T> PartialOrd for Event<M, T> {
 
 impl<M, T> Ord for Event<M, T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        // BinaryHeap is a max-heap; invert so the earliest event is on top
+        // (the `far` and `past` heaps rely on this).
         other
             .time
             .cmp(&self.time)
@@ -65,10 +133,32 @@ impl<M, T> Ord for Event<M, T> {
 }
 
 /// A stable min-priority queue of [`Event`]s.
+///
+/// Pops strictly in `(time, seq)` order: earliest firing time first, and
+/// among events scheduled for the same instant, scheduling order (FIFO).
+/// The module-level docs in `crates/sim/src/event.rs` (and DESIGN.md §13)
+/// describe the internal wheel/heap layout.
 #[derive(Debug)]
 pub struct EventQueue<M, T> {
-    heap: BinaryHeap<Event<M, T>>,
+    /// Wheel buckets; entry = `(seq, kind)`. Each occupied slot holds
+    /// events of exactly one timestamp, recoverable from the slot index
+    /// and the cursor, and its vector is seq-sorted by construction.
+    slots: Vec<Vec<(u64, EventKind<M, T>)>>,
+    /// One occupancy bit per slot.
+    occ: [u64; OCC_WORDS],
+    /// One bit per occupancy word (any-set summary for fast scans).
+    summary: u128,
+    /// The current batch timestamp in µs: every event in `ready` fires at
+    /// exactly this time, every wheel/far event strictly after it.
+    cursor: u64,
+    /// Events at time == `cursor`, in seq order; popped from the front.
+    ready: VecDeque<(u64, EventKind<M, T>)>,
+    /// Events at or beyond one wheel revolution, in `(time, seq)` order.
+    far: BinaryHeap<Event<M, T>>,
+    /// Events scheduled strictly before the cursor (pathological case).
+    past: BinaryHeap<Event<M, T>>,
     next_seq: u64,
+    len: usize,
 }
 
 impl<M, T> Default for EventQueue<M, T> {
@@ -80,19 +170,29 @@ impl<M, T> Default for EventQueue<M, T> {
 impl<M, T> EventQueue<M, T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// Creates an empty queue with room for `cap` events before the
-    /// backing heap reallocates. Ordering semantics are identical to
+    /// Creates an empty queue pre-sized for roughly `cap` pending events,
+    /// so the steady state of a workload that stays under that bound never
+    /// reallocates. Ordering semantics are identical to
     /// [`EventQueue::new`] — capacity never affects pop order.
     pub fn with_capacity(cap: usize) -> Self {
+        let mut slots = Vec::with_capacity(WHEEL_SLOTS);
+        slots.resize_with(WHEEL_SLOTS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            slots,
+            occ: [0; OCC_WORDS],
+            summary: 0,
+            cursor: 0,
+            // A same-instant batch is a broadcast fan-out plus ties, far
+            // smaller than the total pending population.
+            ready: VecDeque::with_capacity(cap.min(64)),
+            // Absolute-time workload arrivals land here in bulk.
+            far: BinaryHeap::with_capacity(cap),
+            past: BinaryHeap::new(),
             next_seq: 0,
+            len: 0,
         }
     }
 
@@ -101,27 +201,200 @@ impl<M, T> EventQueue<M, T> {
     pub fn schedule(&mut self, time: SimTime, kind: EventKind<M, T>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.len += 1;
+        let t = time.as_micros();
+        if t > self.cursor {
+            let delta = t - self.cursor;
+            if delta < WHEEL_SLOTS as u64 {
+                let idx = (t & WHEEL_MASK) as usize;
+                self.slots[idx].push((seq, kind));
+                self.occ[idx >> 6] |= 1u64 << (idx & 63);
+                self.summary |= 1u128 << (idx >> 6);
+            } else {
+                self.far.push(Event { time, seq, kind });
+            }
+        } else if t == self.cursor {
+            // Fires at the instant currently being drained: this seq is
+            // larger than everything already in `ready`, so appending
+            // keeps `ready` seq-sorted.
+            self.ready.push_back((seq, kind));
+        } else {
+            self.past.push(Event { time, seq, kind });
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M, T>> {
-        self.heap.pop()
+        // Past events (time < cursor) precede everything resident in the
+        // wheel or `ready` (time >= cursor).
+        if let Some(ev) = self.past.pop() {
+            self.len -= 1;
+            return Some(ev);
+        }
+        if self.ready.is_empty() && !self.advance() {
+            return None;
+        }
+        let (seq, kind) = self.ready.pop_front().expect("advance filled ready");
+        self.len -= 1;
+        Some(Event {
+            time: SimTime::from_micros(self.cursor),
+            seq,
+            kind,
+        })
     }
 
     /// Returns the firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(ev) = self.past.peek() {
+            return Some(ev.time);
+        }
+        if !self.ready.is_empty() {
+            return Some(SimTime::from_micros(self.cursor));
+        }
+        let wheel_t = self.next_occupied().map(|(_, t)| t);
+        let far_t = self.far.peek().map(|e| e.time.as_micros());
+        match (wheel_t, far_t) {
+            (None, None) => None,
+            (a, b) => Some(SimTime::from_micros(
+                a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX)),
+            )),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True iff no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Moves the next timestamp's events into `ready` and advances the
+    /// cursor to it. Returns `false` when the queue is empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.ready.is_empty() && self.past.is_empty());
+        let wheel = self.next_occupied();
+        let far_t = self.far.peek().map(|e| e.time.as_micros());
+        match (wheel, far_t) {
+            (None, None) => false,
+            (Some((idx, tw)), None) => {
+                self.cursor = tw;
+                self.move_slot_to_ready(idx);
+                true
+            }
+            (None, Some(tf)) => {
+                self.cursor = tf;
+                self.move_far_to_ready(tf);
+                true
+            }
+            (Some((idx, tw)), Some(tf)) => {
+                self.cursor = tw.min(tf);
+                match tw.cmp(&tf) {
+                    Ordering::Less => self.move_slot_to_ready(idx),
+                    Ordering::Greater => self.move_far_to_ready(tf),
+                    // A far event caught up with a wheel slot at the same
+                    // timestamp: interleave the two seq-sorted runs.
+                    Ordering::Equal => self.merge_slot_and_far(idx, tf),
+                }
+                true
+            }
+        }
+    }
+
+    /// Finds the occupied slot closest after the cursor, returning its
+    /// index and absolute timestamp. Read-only (shared by `peek_time`).
+    fn next_occupied(&self) -> Option<(usize, u64)> {
+        if self.summary == 0 {
+            return None;
+        }
+        // Scanning slot indices upward from the cursor's position (and
+        // wrapping once) visits resident deltas in increasing order,
+        // because every resident delta is below one revolution.
+        let start = ((self.cursor as usize) + 1) & (WHEEL_SLOTS - 1);
+        let idx = self
+            .scan_range(start, WHEEL_SLOTS)
+            .or_else(|| self.scan_range(0, start))?;
+        let delta = (idx as u64).wrapping_sub(self.cursor) & WHEEL_MASK;
+        debug_assert_ne!(delta, 0, "slot at the cursor's own index occupied");
+        Some((idx, self.cursor + delta))
+    }
+
+    /// Lowest occupied slot index in `[from, to)`, via the bitmaps.
+    fn scan_range(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        let first_w = from >> 6;
+        let last_w = (to - 1) >> 6;
+        // Words with any occupied slot, restricted to [first_w, last_w].
+        let mut sum = (self.summary >> first_w) << first_w;
+        if last_w < OCC_WORDS - 1 {
+            sum &= (1u128 << (last_w + 1)) - 1;
+        }
+        while sum != 0 {
+            let w = sum.trailing_zeros() as usize;
+            let mut word = self.occ[w];
+            if w == first_w {
+                word &= !0u64 << (from & 63);
+            }
+            if w == last_w && (to & 63) != 0 {
+                word &= (1u64 << (to & 63)) - 1;
+            }
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            sum &= sum - 1;
+        }
+        None
+    }
+
+    fn clear_bit(&mut self, idx: usize) {
+        let w = idx >> 6;
+        self.occ[w] &= !(1u64 << (idx & 63));
+        if self.occ[w] == 0 {
+            self.summary &= !(1u128 << w);
+        }
+    }
+
+    /// Drains slot `idx` (one timestamp, seq-sorted) into `ready`.
+    fn move_slot_to_ready(&mut self, idx: usize) {
+        let mut v = std::mem::take(&mut self.slots[idx]);
+        self.ready.extend(v.drain(..));
+        self.slots[idx] = v; // hand the capacity back to the slot
+        self.clear_bit(idx);
+    }
+
+    /// Drains every far event at exactly time `t` into `ready`. The heap
+    /// yields equal-time events in seq order, so `ready` stays sorted.
+    fn move_far_to_ready(&mut self, t: u64) {
+        while self.far.peek().is_some_and(|e| e.time.as_micros() == t) {
+            let e = self.far.pop().expect("peeked");
+            self.ready.push_back((e.seq, e.kind));
+        }
+    }
+
+    /// Two-way merge (by seq) of slot `idx` and the far events at time `t`
+    /// into `ready`. Both runs are already seq-sorted.
+    fn merge_slot_and_far(&mut self, idx: usize, t: u64) {
+        let mut v = std::mem::take(&mut self.slots[idx]);
+        let mut slot_it = v.drain(..).peekable();
+        while let Some(far_seq) = self
+            .far
+            .peek()
+            .filter(|e| e.time.as_micros() == t)
+            .map(|e| e.seq)
+        {
+            while slot_it.peek().is_some_and(|&(s, _)| s < far_seq) {
+                self.ready.push_back(slot_it.next().expect("peeked"));
+            }
+            let e = self.far.pop().expect("peeked");
+            self.ready.push_back((e.seq, e.kind));
+        }
+        self.ready.extend(slot_it);
+        self.slots[idx] = v;
+        self.clear_bit(idx);
     }
 }
 
@@ -209,5 +482,199 @@ mod tests {
             q.pop().unwrap().kind,
             EventKind::Timer { tag: 7, .. }
         ));
+    }
+
+    #[test]
+    fn events_beyond_one_revolution_take_the_far_path() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 3 + 17;
+        q.schedule(SimTime::from_micros(far), deliver(2));
+        q.schedule(SimTime::from_micros(5), deliver(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.pop().unwrap().time.as_micros(), 5);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(far)));
+        assert_eq!(q.pop().unwrap().time.as_micros(), far);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn far_event_merges_with_wheel_slot_in_seq_order() {
+        let mut q = EventQueue::new();
+        let t = WHEEL_SLOTS as u64 + 100;
+        // seq 0 goes far (beyond one revolution from cursor 0)...
+        q.schedule(SimTime::from_micros(t), deliver(0));
+        // ...advance the cursor so the same timestamp now fits the wheel.
+        q.schedule(SimTime::from_micros(200), deliver(9));
+        assert_eq!(q.pop().unwrap().time.as_micros(), 200);
+        // seq 2 lands in the wheel slot for `t`.
+        q.schedule(SimTime::from_micros(t), deliver(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 2], "far/wheel tie must interleave by seq");
+    }
+
+    #[test]
+    fn scheduling_at_the_current_instant_fires_after_pending_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), deliver(0));
+        q.schedule(SimTime::from_micros(7), deliver(1));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // The queue is now mid-batch at t=7; a new same-instant event
+        // fires after the remaining tie.
+        q.schedule(SimTime::from_micros(7), deliver(2));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn events_before_the_cursor_still_pop_first() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(50), deliver(0));
+        assert_eq!(q.pop().unwrap().time.as_micros(), 50);
+        // Pathological: schedule before the cursor. A stable priority
+        // queue must still serve it ahead of later times.
+        q.schedule(SimTime::from_micros(10), deliver(1));
+        q.schedule(SimTime::from_micros(60), deliver(2));
+        assert_eq!(q.pop().unwrap().time.as_micros(), 10);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(60)));
+        assert_eq!(q.pop().unwrap().time.as_micros(), 60);
+    }
+
+    #[test]
+    fn wheel_wraps_across_revolutions() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        // March the cursor through several revolutions with short hops.
+        let mut t = 0u64;
+        for i in 0..(WHEEL_SLOTS * 3 / 100) {
+            t += 100 + (i as u64 % 7);
+            q.schedule(SimTime::from_micros(t), deliver(i));
+            expect.push(t);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Reference implementation: the previous `BinaryHeap` scheduler.
+    struct RefQueue {
+        heap: BinaryHeap<Event<u32, ()>>,
+        next_seq: u64,
+    }
+
+    impl RefQueue {
+        fn new() -> Self {
+            RefQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+        fn schedule(&mut self, time: SimTime, kind: EventKind<u32, ()>) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Event { time, seq, kind });
+        }
+        fn pop(&mut self) -> Option<Event<u32, ()>> {
+            self.heap.pop()
+        }
+        fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+    }
+
+    use proptest::prelude::*;
+
+    /// One step of an interleaved schedule/pop workload. Times mix three
+    /// regimes so the wheel, far-heap, merge, and past paths all trigger:
+    /// near offsets (wheel), offsets beyond a revolution (far), and
+    /// absolute times that may land before the cursor (past).
+    #[derive(Debug, Clone)]
+    enum Op {
+        ScheduleNear(u16),
+        ScheduleFar(u32),
+        ScheduleAbs(u32),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Near schedules and pops are listed repeatedly to bias the
+        // (unweighted) union toward the hot wheel path while still
+        // exercising far, absolute/past, and drain transitions.
+        prop_oneof![
+            (0u16..2048).prop_map(Op::ScheduleNear),
+            (0u16..2048).prop_map(Op::ScheduleNear),
+            (0u16..2048).prop_map(Op::ScheduleNear),
+            (0u16..64).prop_map(Op::ScheduleNear),
+            (0u32..60_000).prop_map(Op::ScheduleFar),
+            (0u32..30_000).prop_map(Op::ScheduleAbs),
+            Just(Op::Pop),
+            Just(Op::Pop),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        /// The wheel queue and the heap reference pop identical
+        /// `(time, seq)` streams for arbitrary interleaved workloads,
+        /// including same-timestamp bursts.
+        #[test]
+        fn wheel_matches_heap_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut wheel: EventQueue<u32, ()> = EventQueue::new();
+            let mut heap = RefQueue::new();
+            let mut now = 0u64; // mirror of the simulation clock
+            for (i, op) in ops.iter().enumerate() {
+                match *op {
+                    Op::ScheduleNear(d) => {
+                        let t = SimTime::from_micros(now + d as u64);
+                        wheel.schedule(t, deliver(i));
+                        heap.schedule(t, deliver(i));
+                    }
+                    Op::ScheduleFar(d) => {
+                        let t = SimTime::from_micros(now + WHEEL_SLOTS as u64 + d as u64);
+                        wheel.schedule(t, deliver(i));
+                        heap.schedule(t, deliver(i));
+                    }
+                    Op::ScheduleAbs(t) => {
+                        let t = SimTime::from_micros(t as u64);
+                        wheel.schedule(t, deliver(i));
+                        heap.schedule(t, deliver(i));
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(a.as_ref().map(|e| (e.time, e.seq)),
+                                        b.as_ref().map(|e| (e.time, e.seq)));
+                        if let Some(e) = a {
+                            // The sim clock only moves forward.
+                            now = now.max(e.time.as_micros());
+                        }
+                    }
+                }
+            }
+            // Drain both to the end.
+            loop {
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a.as_ref().map(|e| (e.time, e.seq)),
+                                b.as_ref().map(|e| (e.time, e.seq)));
+                if a.is_none() { break; }
+            }
+            prop_assert!(wheel.is_empty());
+        }
+
+        /// Same-timestamp bursts pop strictly in scheduling order no
+        /// matter which internal structure each event landed in.
+        #[test]
+        fn bursts_stay_fifo(burst in 1usize..64, t in 0u64..20_000) {
+            let mut q: EventQueue<u32, ()> = EventQueue::new();
+            for i in 0..burst {
+                q.schedule(SimTime::from_micros(t), deliver(i));
+            }
+            let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            prop_assert_eq!(seqs, (0..burst as u64).collect::<Vec<_>>());
+        }
     }
 }

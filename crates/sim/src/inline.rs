@@ -1,0 +1,235 @@
+//! A small-vector type with inline storage for the first `N` elements.
+//!
+//! The simulator's hot paths build many short-lived lists whose typical
+//! length is tiny and bounded by the site count — per-batch phase lists,
+//! fan-out scratch, small wire buffers. A `Vec` pays a heap allocation per
+//! list; [`InlineVec`] keeps the first `N` elements on the stack and only
+//! spills to the heap past that, so the common case allocates nothing.
+//!
+//! The implementation is deliberately `unsafe`-free (this crate forbids
+//! `unsafe`): inline storage is an array of `Option<T>`, which costs a
+//! discriminant per element but preserves the no-allocation property that
+//! matters on the hot path.
+//!
+//! # Examples
+//!
+//! ```
+//! use bcastdb_sim::inline::InlineVec;
+//!
+//! let mut v: InlineVec<u32, 4> = InlineVec::new();
+//! for i in 0..6 {
+//!     v.push(i); // first 4 inline, the rest spill to the heap
+//! }
+//! assert_eq!(v.len(), 6);
+//! assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+//! ```
+
+/// A growable list that stores its first `N` elements inline.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    /// Inline slots; `inline[..inline_len]` are `Some`.
+    inline: [Option<T>; N],
+    inline_len: usize,
+    /// Overflow beyond `N` elements, in order after the inline ones.
+    spill: Vec<T>,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Creates an empty list (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            inline: std::array::from_fn(|_| None),
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A one-element list (no heap allocation).
+    pub fn one(value: T) -> Self {
+        let mut v = Self::new();
+        v.push(value);
+        v
+    }
+
+    /// Appends an element, spilling to the heap only past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.inline_len < N {
+            self.inline[self.inline_len] = Some(value);
+            self.inline_len += 1;
+        } else {
+            self.spill.push(value);
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// True iff the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    /// Removes all elements, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline[..self.inline_len] {
+            *slot = None;
+        }
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+
+    /// The element at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index < self.inline_len {
+            self.inline[index].as_ref()
+        } else {
+            self.spill.get(index - self.inline_len)
+        }
+    }
+
+    /// True iff an element equal to `value` is present.
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.iter().any(|v| v == value)
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.inline_len]
+            .iter()
+            .map(|s| s.as_ref().expect("slot below inline_len"))
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+/// Element-wise comparison against a `Vec`, so tests can assert an
+/// [`InlineVec`]'s contents with `assert_eq!(buf, vec![...])`.
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> std::ops::Index<usize> for InlineVec<T, N> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index)
+            .unwrap_or_else(|| panic!("index {index} out of bounds (len {})", self.len()))
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<T, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter {
+            inline: self.inline,
+            inline_len: self.inline_len,
+            pos: 0,
+            spill: self.spill.into_iter(),
+        }
+    }
+}
+
+/// Owning iterator over an [`InlineVec`].
+#[derive(Debug)]
+pub struct IntoIter<T, const N: usize> {
+    inline: [Option<T>; N],
+    inline_len: usize,
+    pos: usize,
+    spill: std::vec::IntoIter<T>,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.pos < self.inline_len {
+            let v = self.inline[self.pos].take();
+            self.pos += 1;
+            debug_assert!(v.is_some(), "slot below inline_len");
+            v
+        } else {
+            self.spill.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_n() {
+        let mut v: InlineVec<u8, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.spill.capacity(), 0, "no heap allocation below N");
+    }
+
+    #[test]
+    fn spills_past_n_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.extend(0..5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets_and_allows_reuse() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.extend(0..4);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        v.push(9);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn empty_iterators_terminate() {
+        let v: InlineVec<u32, 2> = InlineVec::new();
+        assert_eq!(v.iter().count(), 0);
+        assert_eq!(v.into_iter().count(), 0);
+    }
+}

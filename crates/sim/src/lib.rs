@@ -53,6 +53,7 @@
 
 pub mod analyze;
 mod event;
+pub mod inline;
 mod net;
 mod rng;
 mod simulation;

@@ -7,7 +7,7 @@
 //! broadcast primitives in `bcastdb-broadcast` close.
 
 use crate::{DetRng, SimDuration, SimTime, SiteId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Distribution of one-way link latency.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -143,11 +143,19 @@ pub struct Network {
     config: NetworkConfig,
     /// Per-(src, dst) serialization state; enforces the paper's FIFO-links
     /// assumption under jittered latency and serializes transmissions under
-    /// finite bandwidth.
-    links: HashMap<(SiteId, SiteId), LinkClock>,
-    crashed: HashSet<SiteId>,
+    /// finite bandwidth. Stored as a flat `stride × stride` table indexed
+    /// `src * stride + dst` — [`Network::transit`] runs once per message,
+    /// and a direct index beats hashing a key pair there. The table grows
+    /// (power-of-two stride) the first time a new highest site id appears.
+    links: Vec<LinkClock>,
+    link_stride: usize,
+    /// Crash flags indexed by site, plus a population count so the
+    /// no-failures common case is a single comparison.
+    crashed: Vec<bool>,
+    crashed_count: usize,
     /// Pairs that cannot currently communicate (symmetric entries stored
-    /// in both directions).
+    /// in both directions). Kept as a set — partitions are rare and
+    /// short-lived — and guarded by an `is_empty` check on the hot path.
     severed: HashSet<(SiteId, SiteId)>,
     messages_sent: u64,
     messages_dropped: u64,
@@ -183,13 +191,30 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         Network {
             config,
-            links: HashMap::new(),
-            crashed: HashSet::new(),
+            links: Vec::new(),
+            link_stride: 0,
+            crashed: Vec::new(),
+            crashed_count: 0,
             severed: HashSet::new(),
             messages_sent: 0,
             messages_dropped: 0,
             bytes_sent: 0,
         }
+    }
+
+    /// Grows the flat link table so sites `0..new_n` are addressable,
+    /// remapping existing per-link state. Strides are powers of two, so a
+    /// fixed site population triggers at most a handful of rebuilds.
+    fn grow_links(&mut self, new_n: usize) {
+        let stride = new_n.next_power_of_two().max(4);
+        let mut links = vec![LinkClock::default(); stride * stride];
+        for from in 0..self.link_stride {
+            for to in 0..self.link_stride {
+                links[from * stride + to] = self.links[from * self.link_stride + to];
+            }
+        }
+        self.links = links;
+        self.link_stride = stride;
     }
 
     /// Access the static configuration.
@@ -208,7 +233,9 @@ impl Network {
         size_hint: usize,
         rng: &mut DetRng,
     ) -> Transit {
-        if self.crashed.contains(&from) || self.crashed.contains(&to) || self.is_severed(from, to) {
+        if (self.crashed_count > 0 && (self.is_crashed(from) || self.is_crashed(to)))
+            || (!self.severed.is_empty() && self.is_severed(from, to))
+        {
             self.messages_dropped += 1;
             return Transit::Dropped;
         }
@@ -226,7 +253,10 @@ impl Network {
             Some(bw) => SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / bw),
             None => SimDuration::ZERO,
         };
-        let link = self.links.entry((from, to)).or_default();
+        if from.0 >= self.link_stride || to.0 >= self.link_stride {
+            self.grow_links(from.0.max(to.0) + 1);
+        }
+        let link = &mut self.links[from.0 * self.link_stride + to.0];
         // Transmission starts once the message is submitted AND the previous
         // message has left the transmitter: back-to-back messages serialize
         // exactly, an idle link starts immediately (zero queueing delay).
@@ -242,17 +272,26 @@ impl Network {
 
     /// Marks `site` as crashed: it neither sends nor receives from now on.
     pub fn crash(&mut self, site: SiteId) {
-        self.crashed.insert(site);
+        if site.0 >= self.crashed.len() {
+            self.crashed.resize(site.0 + 1, false);
+        }
+        if !self.crashed[site.0] {
+            self.crashed[site.0] = true;
+            self.crashed_count += 1;
+        }
     }
 
     /// Recovers a crashed site.
     pub fn recover(&mut self, site: SiteId) {
-        self.crashed.remove(&site);
+        if self.crashed.get(site.0).copied().unwrap_or(false) {
+            self.crashed[site.0] = false;
+            self.crashed_count -= 1;
+        }
     }
 
     /// True iff `site` is currently crashed.
     pub fn is_crashed(&self, site: SiteId) -> bool {
-        self.crashed.contains(&site)
+        self.crashed.get(site.0).copied().unwrap_or(false)
     }
 
     /// Severs bidirectional communication between `a` and `b`.

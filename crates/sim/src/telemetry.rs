@@ -93,6 +93,12 @@ impl Phase {
         Phase::Membership,
     ];
 
+    /// Position of this phase in [`Phase::ALL`] (and in the `Ord` order,
+    /// since the variants are declared in table-column order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short stable name used in benchmark columns and JSON lines.
     pub fn name(self) -> &'static str {
         match self {
@@ -1060,6 +1066,80 @@ struct TxnLife {
     terminations: u32,
 }
 
+/// Dense per-(sender, receiver, phase) counters.
+///
+/// The checker bumps one counter on *every* traced `Send` and `Deliver`,
+/// which makes this the hottest data structure in the tracing pipeline. A
+/// `BTreeMap<(SiteId, SiteId, Phase), u64>` pays a tree walk per message;
+/// this table pays one multiply and one add. The table is square in the
+/// largest site id seen (sites × sites × phases `u64`s — a few KiB for any
+/// realistic cluster) and grows by re-indexing when a larger id appears.
+#[derive(Debug, Default)]
+struct LinkPhaseCounts {
+    /// Sites per side; `counts.len() == stride * stride * NPHASES`.
+    stride: usize,
+    counts: Vec<u64>,
+}
+
+const NPHASES: usize = Phase::ALL.len();
+
+impl LinkPhaseCounts {
+    fn slot(&self, from: SiteId, to: SiteId, phase: Phase) -> usize {
+        (from.0 * self.stride + to.0) * NPHASES + phase.index()
+    }
+
+    fn bump(&mut self, from: SiteId, to: SiteId, phase: Phase) {
+        let needed = from.0.max(to.0) + 1;
+        if needed > self.stride {
+            self.grow(needed);
+        }
+        let slot = self.slot(from, to, phase);
+        self.counts[slot] += 1;
+    }
+
+    fn grow(&mut self, needed: usize) {
+        let new_stride = needed.max(self.stride * 2).max(8);
+        let mut counts = vec![0u64; new_stride * new_stride * NPHASES];
+        for from in 0..self.stride {
+            for to in 0..self.stride {
+                for p in 0..NPHASES {
+                    counts[(from * new_stride + to) * NPHASES + p] =
+                        self.counts[(from * self.stride + to) * NPHASES + p];
+                }
+            }
+        }
+        self.stride = new_stride;
+        self.counts = counts;
+    }
+
+    fn get(&self, from: SiteId, to: SiteId, phase: Phase) -> u64 {
+        if from.0 >= self.stride || to.0 >= self.stride {
+            return 0;
+        }
+        self.counts[self.slot(from, to, phase)]
+    }
+
+    /// Nonzero entries in `(from, to, phase)` lexicographic order — the
+    /// same order the former `BTreeMap` iterated in, so the *first*
+    /// violation reported by the checker is unchanged.
+    fn iter_nonzero(&self) -> impl Iterator<Item = ((SiteId, SiteId, Phase), u64)> + '_ {
+        (0..self.stride).flat_map(move |from| {
+            (0..self.stride).flat_map(move |to| {
+                Phase::ALL.iter().filter_map(move |&phase| {
+                    let n = self.counts[(from * self.stride + to) * NPHASES + phase.index()];
+                    (n > 0).then_some(((SiteId(from), SiteId(to), phase), n))
+                })
+            })
+        })
+    }
+
+    /// Number of (sender, receiver, phase) triples with a nonzero count.
+    #[cfg(test)]
+    fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&n| n > 0).count()
+    }
+}
+
 /// Streaming trace-invariant checker.
 ///
 /// Feed it events (it is itself a [`TraceSink`], so it can sit directly
@@ -1081,8 +1161,8 @@ struct TxnLife {
 /// executions.
 #[derive(Debug, Default)]
 pub struct TraceInvariants {
-    sends: BTreeMap<(SiteId, SiteId, Phase), u64>,
-    delivers: BTreeMap<(SiteId, SiteId, Phase), u64>,
+    sends: LinkPhaseCounts,
+    delivers: LinkPhaseCounts,
     txns: BTreeMap<TxnRef, TxnLife>,
     gseq: BTreeMap<(SiteId, TxnRef), u64>,
     last_gseq_committed: BTreeMap<SiteId, (u64, TxnRef)>,
@@ -1109,12 +1189,12 @@ impl TraceInvariants {
             TraceEvent::Send {
                 from, to, phase, ..
             } => {
-                *self.sends.entry((*from, *to, *phase)).or_insert(0) += 1;
+                self.sends.bump(*from, *to, *phase);
             }
             TraceEvent::Deliver {
                 from, to, phase, ..
             } => {
-                *self.delivers.entry((*from, *to, *phase)).or_insert(0) += 1;
+                self.delivers.bump(*from, *to, *phase);
             }
             // Wire-level bookkeeping: the logical Send/Deliver events carry
             // the per-link accounting, so batch flushes need no tracking.
@@ -1191,8 +1271,8 @@ impl TraceInvariants {
         if let Some(v) = &self.first_violation {
             return Err(v.clone());
         }
-        for (&(from, to, phase), &delivered) in &self.delivers {
-            let sent = self.sends.get(&(from, to, phase)).copied().unwrap_or(0);
+        for ((from, to, phase), delivered) in self.delivers.iter_nonzero() {
+            let sent = self.sends.get(from, to, phase);
             if delivered > sent {
                 return Err(TraceViolation::UnsentDelivery {
                     from,
@@ -1586,7 +1666,7 @@ mod tests {
             });
         }
         assert_eq!(inv.events(), 100_000);
-        assert_eq!(inv.sends.len(), 1);
+        assert_eq!(inv.sends.distinct(), 1);
         inv.check().expect("sends alone violate nothing");
     }
 }

@@ -211,7 +211,15 @@ impl Counters {
 
     /// Adds `delta` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+        // Look up by `&str` first: the entry API would allocate an owned
+        // key on every call, and counter bumps sit on the per-message hot
+        // path. The allocation happens once per counter name, not once
+        // per increment.
+        if let Some(v) = self.values.get_mut(name) {
+            *v += delta;
+        } else {
+            self.values.insert(name.to_owned(), delta);
+        }
     }
 
     /// Increments counter `name` by one.
