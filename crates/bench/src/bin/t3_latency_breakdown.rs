@@ -16,15 +16,19 @@
 //!
 //! With `--trace-out <base.jsonl>` (or `BCASTDB_TRACE_OUT`), each
 //! protocol's full trace is written to `<base>-<protocol>.jsonl` for
-//! `bcast-trace` to consume.
+//! `bcast-trace` to consume. With `--metrics-out <base.jsonl>` (or
+//! `BCASTDB_METRICS_OUT`), the deterministic metrics sampler runs at a
+//! 1 ms virtual-time interval and each protocol's samples land in
+//! `<base>-<protocol>.jsonl` — feed both to `bcast-trace export` for a
+//! Perfetto view of the run.
 //!
 //! The per-protocol runs execute on `BCASTDB_JOBS` worker threads; rows
 //! are assembled in protocol order, so the output is byte-identical at
 //! any job count.
 
 use bcastdb_bench::{
-    check_traced_run, f2, segment_cells, segment_headers, trace_out_for, trace_out_path, Ledger,
-    Sweep, Table, TRACE_CAPACITY,
+    check_traced_run, f2, metrics_out_path, segment_cells, segment_headers, trace_out_for,
+    trace_out_path, Ledger, Sweep, Table, TRACE_CAPACITY,
 };
 use bcastdb_core::{Cluster, ProtocolKind};
 use bcastdb_sim::telemetry::summarize;
@@ -41,6 +45,7 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let trace_out = trace_out_path();
+    let metrics_out = metrics_out_path();
     let mut headers: Vec<String> = ["protocol", "commits"]
         .iter()
         .map(|s| s.to_string())
@@ -62,6 +67,9 @@ fn main() {
             .seed(23);
         if let Some(base) = &trace_out {
             builder = builder.trace_jsonl(trace_out_for(base, proto.name()));
+        }
+        if let Some(base) = &metrics_out {
+            builder = builder.metrics_jsonl(trace_out_for(base, proto.name()));
         }
         let mut cluster = builder.build();
         let run = WorkloadRun::new(cfg.clone(), 230);
@@ -104,6 +112,10 @@ fn main() {
         if trace_out.is_some() {
             let lines = cluster.finish_trace_jsonl().expect("trace flush");
             eprintln!("[t3] {}: {} trace events written", proto.name(), lines);
+        }
+        if metrics_out.is_some() {
+            let samples = cluster.finish_metrics_jsonl().expect("metrics flush");
+            eprintln!("[t3] {}: {} metrics samples written", proto.name(), samples);
         }
         (cells, cluster.events_processed())
     });

@@ -54,6 +54,8 @@
 static ALLOC_PROBE: bcastdb_memprobe::CountingAllocator = bcastdb_memprobe::CountingAllocator;
 
 pub mod harness;
+pub mod perfdiff;
+pub mod perfetto;
 pub mod scenarios;
 
 pub use harness::{
@@ -115,19 +117,40 @@ pub fn segment_cells(summary: &SegmentSummary) -> Vec<String> {
 /// # Panics
 /// Panics if `--trace-out` is passed without a following path.
 pub fn trace_out_path() -> Option<PathBuf> {
+    path_flag("--trace-out", "BCASTDB_TRACE_OUT")
+}
+
+/// The `--metrics-out <path>` flag shared by the experiment binaries:
+/// enables the deterministic in-sim metrics sampler (1 ms virtual-time
+/// interval) and dumps its samples as JSONL for `bcast-trace export
+/// --metrics` to consume. Falls back to the `BCASTDB_METRICS_OUT`
+/// environment variable; returns `None` (sampler off, zero overhead)
+/// when neither is present. Multi-run binaries derive one file per run
+/// via [`trace_out_for`].
+///
+/// # Panics
+/// Panics if `--metrics-out` is passed without a following path.
+pub fn metrics_out_path() -> Option<PathBuf> {
+    path_flag("--metrics-out", "BCASTDB_METRICS_OUT")
+}
+
+fn path_flag(flag: &str, env: &str) -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace-out" {
+        if arg == flag {
             let path = args
                 .next()
-                .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
+                .unwrap_or_else(|| panic!("{flag} requires a path argument"));
             return Some(PathBuf::from(path));
         }
-        if let Some(path) = arg.strip_prefix("--trace-out=") {
+        if let Some(path) = arg
+            .strip_prefix(flag)
+            .and_then(|rest| rest.strip_prefix('='))
+        {
             return Some(PathBuf::from(path));
         }
     }
-    std::env::var_os("BCASTDB_TRACE_OUT").map(PathBuf::from)
+    std::env::var_os(env).map(PathBuf::from)
 }
 
 /// Derives the per-run trace file for `label` from the `--trace-out` base

@@ -83,6 +83,56 @@ fn f1_sweep_is_identical_serial_and_parallel() {
     );
 }
 
+/// One metrics-sampled run: the same F1-style workload with the
+/// deterministic sampler on at a 1 ms virtual-time interval, rendered to
+/// the exact JSONL bytes `--metrics-out` would write.
+fn metrics_run(n: usize, proto: ProtocolKind) -> String {
+    let cfg = WorkloadConfig {
+        n_keys: 1000,
+        theta: 0.6,
+        reads_per_txn: 2,
+        writes_per_txn: 2,
+        readonly_fraction: 0.0,
+        ..WorkloadConfig::default()
+    };
+    let mut cluster = Cluster::builder()
+        .sites(n)
+        .protocol(proto)
+        .metrics(SimDuration::from_millis(1))
+        .seed(7)
+        .build();
+    let run = WorkloadRun::new(cfg, 70 + n as u64);
+    let report = run.open_loop(&mut cluster, 30, SimDuration::from_millis(20));
+    assert!(report.quiesced, "{proto}@{n} did not quiesce");
+    bcastdb_sim::stats::render_jsonl(&cluster.metrics_samples())
+}
+
+/// The metrics sampler rides the virtual clock, so its JSONL output must
+/// be byte-identical at any worker count — the same contract as the CSV
+/// tables, extended to the observability stream.
+#[test]
+fn metrics_jsonl_is_identical_serial_and_parallel() {
+    let mut configs = Vec::new();
+    for n in [3usize, 5] {
+        for proto in ProtocolKind::ALL {
+            configs.push((n, proto));
+        }
+    }
+    let serial = Sweep::with_jobs(1).run(configs.clone(), |&(n, p)| metrics_run(n, p));
+    let parallel = Sweep::with_jobs(4).run(configs.clone(), |&(n, p)| metrics_run(n, p));
+    for (i, (jsonl_s, jsonl_p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        let (n, proto) = configs[i];
+        assert!(
+            !jsonl_s.is_empty(),
+            "{proto}@{n}: sampled run produced no metrics"
+        );
+        assert_eq!(
+            jsonl_s, jsonl_p,
+            "{proto}@{n}: metrics JSONL differs between serial and 4-job runs"
+        );
+    }
+}
+
 /// Dropping a cluster without calling `finish_trace_jsonl` must still
 /// leave a complete, well-formed trace file behind: the `BufWriter`
 /// wrapping the JSONL sink flushes on drop.

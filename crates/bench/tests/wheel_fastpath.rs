@@ -1,0 +1,64 @@
+//! Timing-wheel fast-path regression test.
+//!
+//! The simulator's event queue places each scheduled event in one of
+//! three structures: the 8192-slot microsecond timing wheel (the fast
+//! path), the `far` heap for events beyond the wheel horizon, and the
+//! `past` queue for events scheduled at or before the current time. The
+//! wheel is what makes the >1M events/sec throughput hold (see
+//! `PERFORMANCE.md`), so a protocol or workload change that silently
+//! pushes scheduling off the wheel is a performance bug even while
+//! results stay correct.
+//!
+//! [`bcastdb_core::Cluster::wheel_stats`] exposes the placement counters
+//! (they also stream out as `wheel.*` metrics samples); this test pins
+//! the steady-state contract: message delays and protocol timers sit
+//! well under the 8.192 ms horizon, so the overwhelming majority of
+//! events take the fast path, and nothing is ever scheduled in the past.
+
+use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_sim::SimDuration;
+use bcastdb_workload::{WorkloadConfig, WorkloadRun};
+
+#[test]
+fn steady_state_workloads_stay_on_the_wheel_fast_path() {
+    for proto in ProtocolKind::ALL {
+        let cfg = WorkloadConfig {
+            n_keys: 1000,
+            theta: 0.6,
+            reads_per_txn: 2,
+            writes_per_txn: 2,
+            readonly_fraction: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let mut cluster = Cluster::builder().sites(5).protocol(proto).seed(23).build();
+        let run = WorkloadRun::new(cfg, 230);
+        let report = run.open_loop(&mut cluster, 40, SimDuration::from_millis(15));
+        assert!(report.quiesced, "{proto} did not quiesce");
+
+        let w = cluster.wheel_stats();
+        let total = w.sched_near + w.sched_far + w.sched_past;
+        assert!(total > 0, "{proto}: no events were scheduled at all");
+        assert_eq!(
+            w.sched_past, 0,
+            "{proto}: events scheduled in the past (wheel bypass bug)"
+        );
+        // The far heap is legitimate for long-horizon timers (think time,
+        // keep-alives, workload arrivals), but a steady-state run must be
+        // dominated by sub-horizon message and lock events.
+        let far_fraction = w.sched_far as f64 / total as f64;
+        assert!(
+            far_fraction < 0.10,
+            "{proto}: {:.1}% of {total} events went to the far heap \
+             (sched_near={}, sched_far={}); the wheel fast path is being bypassed",
+            far_fraction * 100.0,
+            w.sched_near,
+            w.sched_far
+        );
+        // Quiescence drained everything the wheel was still holding.
+        assert_eq!(
+            (w.ready_len, w.far_len, w.past_len),
+            (0, 0, 0),
+            "{proto}: events left behind after quiescence"
+        );
+    }
+}

@@ -144,6 +144,21 @@ impl<M: WireSize> Batcher<M> {
         self.pending.get(&to).map_or(0, |p| p.msgs.len())
     }
 
+    /// Total messages currently queued across all destinations.
+    pub fn pending_msgs(&self) -> usize {
+        self.pending.values().map(|p| p.msgs.len()).sum()
+    }
+
+    /// Total envelope bytes currently queued across all destinations
+    /// (header included for each non-empty pending batch).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending
+            .values()
+            .filter(|p| !p.msgs.is_empty())
+            .map(|p| p.bytes)
+            .sum()
+    }
+
     /// Drains every pending batch, in ascending destination order.
     pub fn flush_all(&mut self) -> Vec<Batch<M>> {
         let drained = std::mem::take(&mut self.pending);
@@ -229,6 +244,21 @@ mod tests {
         }
         let order: Vec<SiteId> = b.flush_all().into_iter().map(|x| x.to).collect();
         assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+    }
+
+    #[test]
+    fn pending_totals_track_queued_messages() {
+        let mut b = Batcher::new(1_400);
+        assert_eq!((b.pending_msgs(), b.pending_bytes()), (0, 0));
+        b.push(SiteId(1), Sized(1, 10));
+        b.push(SiteId(2), Sized(2, 30));
+        assert_eq!(b.pending_msgs(), 2);
+        assert_eq!(
+            b.pending_bytes(),
+            2 * BATCH_HEADER_BYTES + (PER_MSG_OVERHEAD_BYTES + 10) + (PER_MSG_OVERHEAD_BYTES + 30)
+        );
+        b.flush_all();
+        assert_eq!((b.pending_msgs(), b.pending_bytes()), (0, 0));
     }
 
     #[test]

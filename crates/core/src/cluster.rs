@@ -8,15 +8,18 @@ use crate::placement::Placement;
 use crate::state::ConflictPolicy;
 use bcastdb_db::sg::SgViolation;
 use bcastdb_db::{HistoryRecorder, Key, TxnId, TxnSpec, Value};
+use bcastdb_sim::stats::{render_jsonl, Sample, StatsHandle, StatsRegistry};
 use bcastdb_sim::telemetry::{
     JsonlSink, PhaseCounts, RingSink, SpanBuilder, TraceEvent, TraceInvariants, TraceSink,
     TraceViolation, Tracer, TxnRef, TxnSpan,
 };
-use bcastdb_sim::{NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId};
+use bcastdb_sim::{
+    NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId, WheelStats,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -88,6 +91,16 @@ pub struct ClusterConfig {
     pub batch_window: Option<SimDuration>,
     /// Size cap of one batch on the wire, in bytes (envelope included).
     pub batch_max_bytes: usize,
+    /// Metrics sampling interval: `Some(iv)` attaches a
+    /// [`StatsRegistry`] and samples every gauge/counter/histogram at each
+    /// `iv` of virtual time; `None` (default) disables metrics entirely.
+    /// Sampling is driven between events on the sim clock, so turning it
+    /// on never changes the run itself — only the sample stream exists.
+    pub metrics_interval: Option<SimDuration>,
+    /// Write the metrics samples to this JSONL file when
+    /// [`Cluster::finish_metrics_jsonl`] is called. Implies metrics with a
+    /// default 1 ms interval if `metrics_interval` is unset.
+    pub metrics_jsonl: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -112,6 +125,8 @@ impl Default for ClusterConfig {
             commit_window: None,
             batch_window: None,
             batch_max_bytes: 1_400,
+            metrics_interval: None,
+            metrics_jsonl: None,
         }
     }
 }
@@ -249,6 +264,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables deterministic metrics sampling every `interval` of virtual
+    /// time (see [`ClusterConfig::metrics_interval`]). Samples are read
+    /// back with [`Cluster::metrics_samples`] or written out through
+    /// [`ClusterBuilder::metrics_jsonl`].
+    pub fn metrics(mut self, interval: SimDuration) -> Self {
+        self.cfg.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Writes the metrics samples to a JSONL file at the end of the run
+    /// (call [`Cluster::finish_metrics_jsonl`]); enables metrics with a
+    /// 1 ms interval if [`ClusterBuilder::metrics`] was not called.
+    pub fn metrics_jsonl(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.metrics_jsonl = Some(path.into());
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -288,6 +320,7 @@ pub struct Cluster {
     next_num: Vec<u64>,
     last_submit: Vec<SimTime>,
     trace: Option<Rc<RefCell<ClusterSink>>>,
+    stats: StatsHandle,
 }
 
 impl Cluster {
@@ -349,6 +382,19 @@ impl Cluster {
             }
             sink
         });
+        let want_metrics = cfg.metrics_interval.is_some() || cfg.metrics_jsonl.is_some();
+        let stats = if want_metrics {
+            let interval = cfg.metrics_interval.unwrap_or(SimDuration::from_millis(1));
+            let registry = Rc::new(RefCell::new(StatsRegistry::new(interval)));
+            let handle = StatsHandle::new(registry);
+            for i in 0..cfg.sites {
+                sim.node_mut(SiteId(i)).state_mut().stats = handle.clone();
+            }
+            sim.enable_stats(handle.clone());
+            handle
+        } else {
+            StatsHandle::disabled()
+        };
         if cfg.membership {
             // Bootstrap the heartbeat machinery: one staggered initial tick
             // per site (afterwards each node re-arms its own ticks).
@@ -366,6 +412,7 @@ impl Cluster {
             last_submit: vec![SimTime::ZERO; cfg.sites],
             cfg,
             trace,
+            stats,
         }
     }
 
@@ -597,12 +644,49 @@ impl Cluster {
         let Some(sink) = &self.trace else {
             return Ok(0);
         };
+        let evicted = sink.borrow().ring.evicted();
         let Some(jsonl) = sink.borrow_mut().jsonl.take() else {
             return Ok(0);
         };
         let lines = jsonl.lines();
-        jsonl.into_inner()?;
+        let mut out = jsonl.into_inner()?;
+        // Trailer line: lets offline tools verify the file is complete and
+        // surface in-process ring eviction loudly instead of silently
+        // analyzing a truncated view.
+        writeln!(
+            out,
+            "{{\"type\":\"trace_meta\",\"events\":{lines},\"ring_evicted\":{evicted}}}"
+        )?;
+        out.flush()?;
         Ok(lines)
+    }
+
+    /// The metrics samples taken so far (empty when metrics are off).
+    pub fn metrics_samples(&self) -> Vec<Sample> {
+        self.stats.samples()
+    }
+
+    /// Writes the metrics samples as JSONL to the path configured with
+    /// [`ClusterBuilder::metrics_jsonl`], returning the number of samples
+    /// written. Returns `Ok(0)` when no metrics file was configured.
+    ///
+    /// # Errors
+    /// Returns any error from creating or writing the file.
+    pub fn finish_metrics_jsonl(&mut self) -> std::io::Result<u64> {
+        let Some(path) = &self.cfg.metrics_jsonl else {
+            return Ok(0);
+        };
+        let samples = self.stats.samples();
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(render_jsonl(&samples).as_bytes())?;
+        out.flush()?;
+        Ok(samples.len() as u64)
+    }
+
+    /// The simulator's timing-wheel placement statistics — how many events
+    /// took the wheel fast path versus the far/past heaps.
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.sim.wheel_stats()
     }
 
     /// Runs the streaming trace invariant checker over everything traced
@@ -967,6 +1051,52 @@ mod tests {
         assert_eq!((ev_a, msg_a, commits_a), (ev_b, msg_b, commits_b));
         assert_eq!(batches_a, 0);
         assert_eq!(batches_b, 0);
+    }
+
+    /// Metrics sampling is a pure observer: enabling it changes neither
+    /// event counts nor outcomes, and the stream carries the sim-level and
+    /// per-site series.
+    #[test]
+    fn metrics_sampling_observes_without_perturbing() {
+        let run = |metrics: bool| {
+            let mut b = Cluster::builder()
+                .sites(3)
+                .protocol(ProtocolKind::CausalBcast)
+                .seed(11);
+            if metrics {
+                b = b.metrics(SimDuration::from_millis(1));
+            }
+            let mut c = b.build();
+            for i in 0..4u64 {
+                c.submit_at(
+                    SimTime::from_micros(i * 700),
+                    SiteId((i % 3) as usize),
+                    write_txn("x", i as i64),
+                );
+            }
+            c.run_to_quiescence();
+            c
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.events_processed(), on.events_processed());
+        assert_eq!(off.messages_sent(), on.messages_sent());
+        assert_eq!(off.metrics().commits(), on.metrics().commits());
+        assert!(off.metrics_samples().is_empty());
+        let samples = on.metrics_samples();
+        assert!(!samples.is_empty(), "metrics run produced no samples");
+        let last = samples.last().unwrap();
+        assert!(last.values.contains_key("queue_depth"));
+        assert!(last.values.contains_key("net.msgs_sent"));
+        for s in 0..3 {
+            assert!(
+                last.values.contains_key(&format!("s{s}.undecided_remote")),
+                "missing per-site gauges for site {s}"
+            );
+        }
+        // And the stream is reproducible.
+        let again = run(true);
+        assert_eq!(samples, again.metrics_samples());
     }
 
     #[test]

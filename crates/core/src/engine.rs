@@ -13,7 +13,7 @@ use bcastdb_broadcast::membership::{MemberEvent, ViewManager};
 use bcastdb_broadcast::msg::dest_iter;
 use bcastdb_sim::inline::InlineVec;
 use bcastdb_sim::telemetry::{Phase, TraceEvent};
-use bcastdb_sim::{Ctx, Node, SendOutcome, SimDuration, SimTime, SiteId};
+use bcastdb_sim::{Ctx, Node, Sample, SendOutcome, SimDuration, SimTime, SiteId};
 use std::collections::BTreeSet;
 
 /// Per-node configuration (derived from the cluster config).
@@ -322,6 +322,8 @@ impl ReplicaNode {
         let msgs = batch.msgs.len() as u64;
         let bytes = batch.bytes;
         self.st.metrics.record_wire_batch(msgs, bytes as u64);
+        self.st.stats.observe("batch.flush_msgs", msgs);
+        self.st.stats.observe("batch.flush_bytes", bytes as u64);
         self.st.tracer.emit(|| TraceEvent::BatchFlushed {
             at: now,
             from: me,
@@ -593,5 +595,29 @@ impl Node for ReplicaNode {
         }
         self.flush(fx, ctx);
         self.arm_tick(ctx);
+    }
+
+    /// Contributes this replica's gauges to a metrics sample, under the
+    /// canonical `s<site>.` prefix. Read-only by contract — the sampler
+    /// must never change protocol behavior.
+    fn sample_stats(&self, sample: &mut Sample) {
+        let me = self.st.me;
+        sample.set_site(me, "lock_waiters", self.st.locks.waiting_count() as u64);
+        sample.set_site(me, "lock_keys", self.st.locks.active_keys() as u64);
+        sample.set_site(
+            me,
+            "undecided_remote",
+            self.st.undecided_remote_count() as u64,
+        );
+        sample.set_site(me, "local_active", self.st.local_active_count() as u64);
+        // Retransmission pressure: the causal protocol's retransmissions
+        // and the reliable protocol's sync rounds, straight from the
+        // per-site logical message accounting.
+        sample.set_site(me, "retrans", self.st.metrics.counters.get("msg_retrans"));
+        sample.set_site(me, "sync", self.st.metrics.counters.get("msg_sync"));
+        if let Some(b) = &self.batcher {
+            sample.set_site(me, "batch_pending_msgs", b.pending_msgs() as u64);
+            sample.set_site(me, "batch_pending_bytes", b.pending_bytes() as u64);
+        }
     }
 }

@@ -16,7 +16,7 @@ use bcastdb_db::lock::{GrantedFromQueue, LockMode, RequestOutcome};
 use bcastdb_db::sg::ObservedVersion;
 use bcastdb_db::{Key, LockManager, RedoLog, Store, TxnId, TxnSpec, WriteOp};
 use bcastdb_sim::telemetry::{TraceEvent, Tracer, TxnRef};
-use bcastdb_sim::{SimTime, SiteId};
+use bcastdb_sim::{SimTime, SiteId, StatsHandle};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The trace-level reference for a transaction id (`bcastdb-sim` cannot
@@ -183,6 +183,10 @@ pub struct SiteState {
     pub metrics: Metrics,
     /// Structured trace sink (disabled by default; zero overhead when off).
     pub tracer: Tracer,
+    /// Metrics registry handle (disabled by default; zero overhead when
+    /// off). Protocol layers push histograms through it; the sampler reads
+    /// gauges off this state at period boundaries.
+    pub stats: StatsHandle,
     /// Conflict policy between update transactions.
     pub policy: ConflictPolicy,
     /// Whether delivered writes may wound *broadcast* (remote or
@@ -246,6 +250,7 @@ impl SiteState {
             log: RedoLog::new(),
             metrics: Metrics::new(),
             tracer: Tracer::disabled(),
+            stats: StatsHandle::disabled(),
             policy,
             wound_remote: true,
             wound_local_readers: true,
@@ -305,6 +310,18 @@ impl SiteState {
     /// True iff this site knows of any transaction that has not terminated.
     pub fn has_undecided(&self) -> bool {
         !self.local.is_empty() || self.undecided_remote > 0
+    }
+
+    /// Number of remote transactions this site has seen but not yet
+    /// decided (the O(1) counter behind [`SiteState::has_undecided`]),
+    /// exposed as a metrics gauge.
+    pub fn undecided_remote_count(&self) -> usize {
+        self.undecided_remote
+    }
+
+    /// Number of local transactions still in flight at this site.
+    pub fn local_active_count(&self) -> usize {
+        self.local.len()
     }
 
     /// Records a transaction's outcome, keeping the undecided-remote count

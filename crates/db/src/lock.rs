@@ -292,6 +292,12 @@ impl LockManager {
     pub fn active_keys(&self) -> usize {
         self.table.len()
     }
+
+    /// Total queued (waiting) lock requests across all keys — a direct
+    /// gauge of lock contention for the metrics subsystem.
+    pub fn waiting_count(&self) -> usize {
+        self.table.values().map(|e| e.queue.len()).sum()
+    }
 }
 
 #[cfg(test)]

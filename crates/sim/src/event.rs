@@ -159,6 +159,33 @@ pub struct EventQueue<M, T> {
     past: BinaryHeap<Event<M, T>>,
     next_seq: u64,
     len: usize,
+    /// Lifetime schedule counts by placement (wheel/ready, far, past) —
+    /// cheap always-on counters feeding [`EventQueue::wheel_stats`].
+    sched_near: u64,
+    sched_far: u64,
+    sched_past: u64,
+}
+
+/// Where the events of a queue's lifetime landed, plus the live residency
+/// of each structure. `near` counts the wheel/ready fast path; `far` the
+/// beyond-one-revolution heap; `past` the pathological behind-the-cursor
+/// heap. The PR-5 performance model assumes `near` dominates — the metrics
+/// subsystem samples these so a workload that quietly falls off the fast
+/// path shows up in the data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Events scheduled onto the wheel or the ready queue (fast path).
+    pub sched_near: u64,
+    /// Events scheduled at or beyond one wheel revolution (far heap).
+    pub sched_far: u64,
+    /// Events scheduled strictly before the cursor (past heap).
+    pub sched_past: u64,
+    /// Events currently in the ready queue.
+    pub ready_len: usize,
+    /// Events currently in the far heap.
+    pub far_len: usize,
+    /// Events currently in the past heap.
+    pub past_len: usize,
 }
 
 impl<M, T> Default for EventQueue<M, T> {
@@ -193,6 +220,9 @@ impl<M, T> EventQueue<M, T> {
             past: BinaryHeap::new(),
             next_seq: 0,
             len: 0,
+            sched_near: 0,
+            sched_far: 0,
+            sched_past: 0,
         }
     }
 
@@ -210,16 +240,20 @@ impl<M, T> EventQueue<M, T> {
                 self.slots[idx].push((seq, kind));
                 self.occ[idx >> 6] |= 1u64 << (idx & 63);
                 self.summary |= 1u128 << (idx >> 6);
+                self.sched_near += 1;
             } else {
                 self.far.push(Event { time, seq, kind });
+                self.sched_far += 1;
             }
         } else if t == self.cursor {
             // Fires at the instant currently being drained: this seq is
             // larger than everything already in `ready`, so appending
             // keeps `ready` seq-sorted.
             self.ready.push_back((seq, kind));
+            self.sched_near += 1;
         } else {
             self.past.push(Event { time, seq, kind });
+            self.sched_past += 1;
         }
     }
 
@@ -269,6 +303,18 @@ impl<M, T> EventQueue<M, T> {
     /// True iff no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Lifetime placement counts and live per-structure residency.
+    pub fn wheel_stats(&self) -> WheelStats {
+        WheelStats {
+            sched_near: self.sched_near,
+            sched_far: self.sched_far,
+            sched_past: self.sched_past,
+            ready_len: self.ready.len(),
+            far_len: self.far.len(),
+            past_len: self.past.len(),
+        }
     }
 
     /// Moves the next timestamp's events into `ready` and advances the
@@ -555,6 +601,18 @@ mod tests {
             .map(|e| e.time.as_micros())
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn wheel_stats_classify_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(50), deliver(0)); // near
+        q.schedule(SimTime::from_micros(WHEEL_SLOTS as u64 + 9), deliver(1)); // far
+        assert_eq!(q.pop().unwrap().time.as_micros(), 50);
+        q.schedule(SimTime::from_micros(10), deliver(2)); // past (cursor = 50)
+        let s = q.wheel_stats();
+        assert_eq!((s.sched_near, s.sched_far, s.sched_past), (1, 1, 1));
+        assert_eq!((s.far_len, s.past_len), (1, 1));
     }
 
     /// Reference implementation: the previous `BinaryHeap` scheduler.

@@ -19,7 +19,9 @@
 //! - [`telemetry`] — structured trace events with per-phase message
 //!   accounting, pluggable sinks, and an offline invariant checker,
 //! - [`spans`] / [`analyze`] — per-transaction span reconstruction and
-//!   commit-latency decomposition over the trace stream.
+//!   commit-latency decomposition over the trace stream,
+//! - [`stats`] — a deterministic virtual-time metrics registry (counters,
+//!   gauges, log2 histograms) sampled at fixed sim-clock boundaries.
 //!
 //! # Example
 //!
@@ -58,14 +60,16 @@ mod net;
 mod rng;
 mod simulation;
 pub mod spans;
+pub mod stats;
 pub mod telemetry;
 mod time;
 pub mod trace;
 
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKind, EventQueue, WheelStats};
 pub use net::{LatencyModel, LinkState, Network, NetworkConfig};
 pub use rng::DetRng;
 pub use simulation::{Ctx, Node, RunOutcome, SendOutcome, Simulation};
+pub use stats::{Histogram, Sample, StatsHandle, StatsRegistry};
 pub use time::{SimDuration, SimTime};
 
 use std::fmt;

@@ -6,6 +6,7 @@
 //! *across* senders is not guaranteed — that is exactly the gap the
 //! broadcast primitives in `bcastdb-broadcast` close.
 
+use crate::stats::Sample;
 use crate::{DetRng, SimDuration, SimTime, SiteId};
 use std::collections::HashSet;
 
@@ -337,6 +338,34 @@ impl Network {
     /// Total payload bytes accepted so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Folds the network's state at `now` into a metrics sample: cumulative
+    /// traffic counters plus link-serialization gauges. A link is *busy*
+    /// when its transmitter is still occupied (`tx_free > now`), which only
+    /// happens under a finite [`NetworkConfig::bandwidth_bytes_per_sec`];
+    /// its *backlog* is how far `tx_free` lies in the future — the queueing
+    /// delay the next message on that link would see. On infinitely fast
+    /// links every transmission completes instantly and all three gauges
+    /// stay zero.
+    pub fn sample_into(&self, now: SimTime, sample: &mut Sample) {
+        sample.set("net.msgs_sent", self.messages_sent);
+        sample.set("net.msgs_dropped", self.messages_dropped);
+        sample.set("net.bytes_sent", self.bytes_sent);
+        let mut busy = 0u64;
+        let mut backlog_total = 0u64;
+        let mut backlog_max = 0u64;
+        for link in &self.links {
+            if link.tx_free > now {
+                busy += 1;
+                let lag = link.tx_free.as_micros() - now.as_micros();
+                backlog_total += lag;
+                backlog_max = backlog_max.max(lag);
+            }
+        }
+        sample.set("net.links_busy", busy);
+        sample.set("net.backlog_us_total", backlog_total);
+        sample.set("net.backlog_us_max", backlog_max);
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::net::{Network, NetworkConfig, Transit};
+use crate::stats::{Sample, StatsHandle};
 use crate::{DetRng, SimDuration, SimTime, SiteId};
 
 /// A deterministic state machine living at one site of the simulated system.
@@ -27,6 +28,15 @@ pub trait Node {
     /// Called when a timer previously set with [`Ctx::set_timer`] fires
     /// (or one scheduled externally via [`Simulation::schedule_timer`]).
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, tag: Self::Timer);
+
+    /// Contributes this node's gauges to a metrics sample. Called by the
+    /// driver at each sampling boundary when metrics are enabled (see
+    /// [`Simulation::enable_stats`]); the default contributes nothing.
+    /// Implementations must only *read* state — sampling must never change
+    /// the simulation's behavior.
+    fn sample_stats(&self, sample: &mut Sample) {
+        let _ = sample;
+    }
 }
 
 /// Execution context handed to a node while it processes an event.
@@ -152,6 +162,10 @@ pub struct Simulation<N: Node> {
     now: SimTime,
     events_processed: u64,
     default_msg_size: usize,
+    stats: StatsHandle,
+    /// Next virtual-time sampling boundary (meaningful only when `stats`
+    /// is enabled).
+    next_sample_at: SimTime,
 }
 
 impl<N: Node> Simulation<N> {
@@ -171,7 +185,34 @@ impl<N: Node> Simulation<N> {
             now: SimTime::ZERO,
             events_processed: 0,
             default_msg_size: 64,
+            stats: StatsHandle::disabled(),
+            next_sample_at: SimTime::ZERO,
         }
+    }
+
+    /// Attaches a metrics registry and starts the virtual-time sampler.
+    ///
+    /// The driver takes one sample per registry interval, always *between*
+    /// events: before processing the first event at or past a boundary (so
+    /// the sample sees the state the boundary was crossed with), and up to
+    /// the deadline when a run ends with [`RunOutcome::DeadlineReached`].
+    /// Sampling never schedules events, so enabling metrics cannot change
+    /// event sequence numbers, delivery order, or any simulation output —
+    /// only the sample stream itself. Boundaries are derived from the
+    /// attach-time clock: the first sample lands one interval after `now`.
+    ///
+    /// Samples are only taken inside [`Simulation::run_until`] (and
+    /// [`Simulation::run_to_quiescence`]); manual [`Simulation::step`]
+    /// loops bypass the sampler.
+    ///
+    /// # Panics
+    /// Panics if `stats` is disabled.
+    pub fn enable_stats(&mut self, stats: StatsHandle) {
+        let interval = stats
+            .interval()
+            .expect("enable_stats needs an attached registry");
+        self.next_sample_at = self.now + interval;
+        self.stats = stats;
     }
 
     /// Current virtual time.
@@ -292,6 +333,9 @@ impl<N: Node> Simulation<N> {
     /// deadline itself, so repeated calls with increasing deadlines make
     /// progress even through quiet periods.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        if self.stats.is_enabled() {
+            return self.run_until_sampled(deadline);
+        }
         loop {
             match self.queue.peek_time() {
                 None => return RunOutcome::Quiesced { at: self.now },
@@ -304,6 +348,61 @@ impl<N: Node> Simulation<N> {
                 }
             }
         }
+    }
+
+    /// The metrics-enabled run loop: identical event processing to
+    /// [`Simulation::run_until`], plus a sample at every elapsed boundary.
+    /// Kept separate so the metrics-off hot loop pays nothing.
+    fn run_until_sampled(&mut self, deadline: SimTime) -> RunOutcome {
+        let interval = self
+            .stats
+            .interval()
+            .expect("sampled loop needs a registry");
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiesced { at: self.now },
+                Some(t) if t > deadline => {
+                    while self.next_sample_at <= deadline {
+                        self.take_sample(interval);
+                    }
+                    self.now = self.now.max(deadline);
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(t) => {
+                    while self.next_sample_at <= t {
+                        self.take_sample(interval);
+                    }
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Takes the sample for the boundary at `next_sample_at` and advances
+    /// the boundary by one interval.
+    fn take_sample(&mut self, interval: SimDuration) {
+        let at = self.next_sample_at;
+        let mut sample = Sample::new(at);
+        sample.set("queue_depth", self.queue.len() as u64);
+        sample.set("events_processed", self.events_processed);
+        let ws = self.queue.wheel_stats();
+        sample.set("wheel.sched_near", ws.sched_near);
+        sample.set("wheel.sched_far", ws.sched_far);
+        sample.set("wheel.sched_past", ws.sched_past);
+        sample.set("wheel.far_len", ws.far_len as u64);
+        sample.set("wheel.past_len", ws.past_len as u64);
+        self.net.sample_into(at, &mut sample);
+        for node in &self.nodes {
+            node.sample_stats(&mut sample);
+        }
+        self.stats.commit_sample(sample);
+        self.next_sample_at = at + interval;
+    }
+
+    /// The queue's timing-wheel placement statistics (see
+    /// [`crate::WheelStats`]).
+    pub fn wheel_stats(&self) -> crate::WheelStats {
+        self.queue.wheel_stats()
     }
 
     /// Runs until the queue drains, but at most `budget` of virtual time
@@ -438,6 +537,69 @@ mod tests {
         let out = sim.run_until(SimTime::from_micros(100));
         assert_eq!(out, RunOutcome::DeadlineReached);
         assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn sampler_does_not_perturb_the_run() {
+        use crate::stats::StatsRegistry;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |sampled: bool| {
+            let mut sim = mk(4);
+            let reg = Rc::new(RefCell::new(StatsRegistry::new(SimDuration::from_millis(
+                1,
+            ))));
+            if sampled {
+                sim.enable_stats(StatsHandle::new(reg.clone()));
+            }
+            for i in 0..4 {
+                sim.schedule_timer(SimTime::from_micros(i as u64), SiteId(i), 3);
+            }
+            sim.run_to_quiescence(SimDuration::from_secs(1));
+            let samples = reg.borrow().samples().to_vec();
+            (
+                sim.events_processed(),
+                sim.now(),
+                sim.network().messages_sent(),
+                samples,
+            )
+        };
+        let (ev_off, now_off, sent_off, samples_off) = run(false);
+        let (ev_on, now_on, sent_on, samples_on) = run(true);
+        // Sampling must be an observer: identical run, plus samples.
+        assert_eq!((ev_off, now_off, sent_off), (ev_on, now_on, sent_on));
+        assert!(samples_off.is_empty());
+        assert!(!samples_on.is_empty(), "sampled run produced no samples");
+        // Boundaries are exact multiples of the interval.
+        for (i, s) in samples_on.iter().enumerate() {
+            assert_eq!(s.at.as_micros(), (i as u64 + 1) * 1_000);
+            assert!(s.values.contains_key("queue_depth"));
+            assert!(s.values.contains_key("net.msgs_sent"));
+        }
+        // And the stream itself is deterministic.
+        let (_, _, _, samples_again) = run(true);
+        assert_eq!(samples_on, samples_again);
+    }
+
+    #[test]
+    fn deadline_flushes_samples_up_to_the_deadline() {
+        use crate::stats::StatsRegistry;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut sim = mk(2);
+        let reg = Rc::new(RefCell::new(StatsRegistry::new(SimDuration::from_millis(
+            1,
+        ))));
+        sim.enable_stats(StatsHandle::new(reg));
+        // One far-future event keeps the queue non-empty past the deadline.
+        sim.schedule_timer(SimTime::from_micros(10_000_000), SiteId(0), 1);
+        let out = sim.run_until(SimTime::from_micros(5_500));
+        assert_eq!(out, RunOutcome::DeadlineReached);
+        let samples = sim.stats.samples();
+        let ats: Vec<u64> = samples.iter().map(|s| s.at.as_micros()).collect();
+        assert_eq!(ats, vec![1_000, 2_000, 3_000, 4_000, 5_000]);
     }
 
     #[test]
