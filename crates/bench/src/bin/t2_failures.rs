@@ -1,187 +1,109 @@
-//! **T2 — Behaviour under site failure.**
+//! **T2 — Behaviour under site failure: the nemesis campaign.**
 //!
 //! The paper's fault-tolerance story: "as long as the view has majority
-//! membership, the system remains operational." This experiment crashes a
-//! replica mid-run under each broadcast protocol and reports
+//! membership, the system remains operational." This experiment replays
+//! the full deterministic nemesis matrix — five fault schedules
+//! ([`NemesisScenario::ALL`]: a participant crash mid-2PC, an origin
+//! crash, a partition + heal + rejoin, cascading view changes, and a
+//! crash/recover/rejoin cycle) under each of the four protocols — and
+//! reports per cell: commits, aborts, the mean vote-round latency of the
+//! committed updates, and one-copy serializability among the survivors.
 //!
-//! - commits before the crash,
-//! - the view-change delay (crash → last survivor installs the new view),
-//! - in-flight transactions aborted by the view change,
-//! - commits after the crash (the majority keeps going),
-//! - and the blocked state of a minority partition.
+//! Every run is validated by the trace invariant checker and explicit
+//! survivor-termination sweeps inside [`run_nemesis`]; a violation panics
+//! the experiment rather than producing a row.
 //!
-//! The per-protocol crash scenarios (and the minority-partition run) are
-//! independent clusters and execute on `BCASTDB_JOBS` worker threads;
-//! rows are assembled in scenario order, so the output is byte-identical
-//! at any job count.
+//! Two extra rows rerun `crash_mid_2pc` under the reliable and causal
+//! protocols with **speculative fast commit** enabled: transactions
+//! orphaned by the crash are decided from the surviving quorum's votes at
+//! the speculative suspicion threshold instead of waiting out the view
+//! change, and the vote-round column shrinks accordingly (asserted, not
+//! just reported).
+//!
+//! The runs are independent clusters and execute on `BCASTDB_JOBS` worker
+//! threads; rows are assembled in config order, so the output is
+//! byte-identical at any job count. With `--trace-out <base>` every run
+//! streams its full JSONL trace to `<base>-<scenario>-<protocol>.jsonl`
+//! for `bcast-trace check`.
 
-use bcastdb_bench::{check_traced_run, Ledger, Sweep, Table, TRACE_CAPACITY};
-use bcastdb_core::{Cluster, ProtocolKind};
-use bcastdb_sim::DetRng;
-use bcastdb_sim::{SimDuration, SimTime, SiteId};
-use bcastdb_workload::WorkloadConfig;
-
-const N: usize = 5;
-const CRASH_AT_US: u64 = 200_000;
-
-/// Crashes site `N-1` mid-run under `proto` and returns the table row.
-fn crash_run(proto: ProtocolKind) -> (Vec<String>, u64) {
-    let mut cluster = Cluster::builder()
-        .sites(N)
-        .protocol(proto)
-        .seed(37)
-        .membership(true)
-        .suspect_after(SimDuration::from_millis(60))
-        .trace(TRACE_CAPACITY)
-        .build();
-    let cfg = WorkloadConfig {
-        n_keys: 300,
-        theta: 0.5,
-        reads_per_txn: 1,
-        writes_per_txn: 2,
-        ..WorkloadConfig::default()
-    };
-    let zipf = cfg.sampler();
-    let mut rng = DetRng::new(370);
-    // Pre-crash load on all sites.
-    for site in 0..N {
-        let mut at = SimTime::from_micros(1_000);
-        let mut site_rng = rng.fork(site as u64);
-        for _ in 0..10 {
-            at += SimDuration::from_millis(15);
-            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
-        }
-    }
-    cluster.run_until(SimTime::from_micros(CRASH_AT_US));
-    let pre_commits = cluster.metrics().commits();
-
-    cluster.crash(SiteId(N - 1));
-    // Run until every survivor has evicted the crashed site.
-    let mut view_change_done = SimTime::from_micros(CRASH_AT_US);
-    loop {
-        view_change_done += SimDuration::from_millis(5);
-        cluster.run_until(view_change_done);
-        let all_evicted = (0..N - 1).all(|s| {
-            !cluster
-                .replica(SiteId(s))
-                .view_members()
-                .contains(&SiteId(N - 1))
-        });
-        if all_evicted {
-            break;
-        }
-        assert!(
-            view_change_done < SimTime::from_micros(CRASH_AT_US + 2_000_000),
-            "{proto}: view change never completed"
-        );
-    }
-    let view_change_ms = (view_change_done.as_micros() - CRASH_AT_US) as f64 / 1_000.0;
-    let aborted_by_view = cluster.metrics().counters.get("abort_view_change");
-
-    // Post-crash load on the survivors.
-    for site in 0..N - 1 {
-        let mut at = view_change_done + SimDuration::from_millis(5);
-        let mut site_rng = rng.fork(100 + site as u64);
-        for _ in 0..10 {
-            at += SimDuration::from_millis(15);
-            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
-        }
-    }
-    cluster.run_until(view_change_done + SimDuration::from_secs(2));
-    let post_commits = cluster.metrics().commits() - pre_commits;
-    let survivors: Vec<SiteId> = (0..N - 1).map(SiteId).collect();
-    let serializable = cluster.check_serializability_among(&survivors).is_ok();
-    check_traced_run(&cluster, &format!("{proto} crash run"));
-
-    let cells = vec![
-        proto.name().to_string(),
-        pre_commits.to_string(),
-        format!("{view_change_ms:.1}"),
-        aborted_by_view.to_string(),
-        post_commits.to_string(),
-        serializable.to_string(),
-    ];
-    (cells, cluster.events_processed())
-}
-
-/// Crashes 3 of 5 sites and returns whether the minority blocked.
-fn minority_run() -> (bool, u64) {
-    let mut cluster = Cluster::builder()
-        .sites(N)
-        .protocol(ProtocolKind::ReliableBcast)
-        .seed(38)
-        .membership(true)
-        .suspect_after(SimDuration::from_millis(60))
-        .trace(TRACE_CAPACITY)
-        .build();
-    cluster.run_until(SimTime::from_micros(50_000));
-    for s in 2..N {
-        cluster.crash(SiteId(s));
-    }
-    cluster.run_until(SimTime::from_micros(600_000));
-    let blocked = (0..2).all(|s| !cluster.replica(SiteId(s)).is_operational());
-    check_traced_run(&cluster, "minority partition");
-    (blocked, cluster.events_processed())
-}
-
-/// One independent failure scenario.
-#[derive(Debug, Clone, Copy)]
-enum Scenario {
-    Crash(ProtocolKind),
-    MinorityPartition,
-}
-
-enum ScenarioResult {
-    Row(Vec<String>, u64),
-    Blocked(bool, u64),
-}
+use bcastdb_bench::nemesis::{run_nemesis, NemesisConfig, NemesisOutcome, NemesisScenario};
+use bcastdb_bench::{trace_out_for, trace_out_path, Ledger, Sweep, Table};
+use bcastdb_core::ProtocolKind;
 
 fn main() {
-    let mut table = Table::new(
-        "t2_failures",
-        &[
-            "protocol",
-            "pre_commits",
-            "view_change_ms",
-            "aborted_by_view",
-            "post_commits",
-            "survivors_serializable",
-        ],
-    );
-    let configs = vec![
-        Scenario::Crash(ProtocolKind::ReliableBcast),
-        Scenario::Crash(ProtocolKind::CausalBcast),
-        Scenario::Crash(ProtocolKind::AtomicBcast),
-        Scenario::MinorityPartition,
-    ];
-    let outcome = Sweep::from_env().run(configs, |&scenario| match scenario {
-        Scenario::Crash(proto) => {
-            let (cells, events) = crash_run(proto);
-            ScenarioResult::Row(cells, events)
-        }
-        Scenario::MinorityPartition => {
-            let (blocked, events) = minority_run();
-            ScenarioResult::Blocked(blocked, events)
-        }
-    });
-    let mut events = 0u64;
-    let mut minority_blocked = None;
-    for r in &outcome.results {
-        match r {
-            ScenarioResult::Row(cells, ev) => {
-                table.row_strings(cells);
-                events += ev;
-            }
-            ScenarioResult::Blocked(blocked, ev) => {
-                minority_blocked = Some(*blocked);
-                events += ev;
-            }
+    let trace_base = trace_out_path();
+    let mut configs: Vec<NemesisConfig> = Vec::new();
+    for scenario in NemesisScenario::ALL {
+        for proto in ProtocolKind::ALL {
+            let mut cfg = NemesisConfig::new(scenario, proto);
+            cfg.trace_out = trace_base
+                .as_ref()
+                .map(|b| trace_out_for(b, &format!("{}-{}", scenario.name(), proto.name())));
+            configs.push(cfg);
         }
     }
+    // The speculative fast-commit comparison pair: same crash schedule,
+    // fast path on (only meaningful for the two vote/ack-quorum
+    // protocols).
+    for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
+        let mut cfg = NemesisConfig::new(NemesisScenario::CrashMidTwoPhase, proto);
+        cfg.fast_commit = true;
+        cfg.trace_out = trace_base
+            .as_ref()
+            .map(|b| trace_out_for(b, &format!("crash_mid_2pc-{}-fast", proto.name())));
+        configs.push(cfg);
+    }
+
+    let outcome = Sweep::from_env().run(configs, run_nemesis);
+
+    let headers = NemesisOutcome::headers();
+    let mut table = Table::new("t2_failures", &headers);
+    let mut events = 0u64;
+    for r in &outcome.results {
+        assert!(
+            r.survivors_serializable,
+            "{}/{}: survivors are not one-copy serializable",
+            r.scenario.name(),
+            r.protocol.name()
+        );
+        table.row_strings(&r.cells());
+        events += r.events;
+    }
     table.emit();
-    let blocked = minority_blocked.expect("minority scenario ran");
-    println!("\nminority partition (2 of 5 survivors): blocked = {blocked}");
-    assert!(blocked, "a minority view must not remain operational");
+
+    // The speculation must have engaged and must have shortened the
+    // orphaned transactions' decision wait, run for run.
+    let find = |proto: ProtocolKind, fast: bool| -> &NemesisOutcome {
+        outcome
+            .results
+            .iter()
+            .find(|r| {
+                r.scenario == NemesisScenario::CrashMidTwoPhase
+                    && r.protocol == proto
+                    && r.fast_commit == fast
+            })
+            .expect("matrix row")
+    };
+    println!();
+    for proto in [ProtocolKind::ReliableBcast, ProtocolKind::CausalBcast] {
+        let base = find(proto, false);
+        let fast = find(proto, true);
+        assert!(fast.fast_commits > 0, "{proto}: fast path never engaged");
+        assert!(
+            fast.vote_round_ms < base.vote_round_ms,
+            "{proto}: fast commit did not shorten the vote round"
+        );
+        assert_eq!(
+            base.commits, fast.commits,
+            "{proto}: speculation changed outcomes"
+        );
+        println!(
+            "fast commit under {proto}: vote round {:.2} ms -> {:.2} ms \
+             ({} speculative decisions, same {} commits)",
+            base.vote_round_ms, fast.vote_round_ms, fast.fast_commits, fast.commits
+        );
+    }
+
     let mut ledger = Ledger::new();
     ledger.record("t2_failures", &outcome, events);
     ledger.finish();

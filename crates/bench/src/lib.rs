@@ -54,6 +54,7 @@
 static ALLOC_PROBE: bcastdb_memprobe::CountingAllocator = bcastdb_memprobe::CountingAllocator;
 
 pub mod harness;
+pub mod nemesis;
 pub mod perfdiff;
 pub mod perfetto;
 pub mod scenarios;

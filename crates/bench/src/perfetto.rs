@@ -113,7 +113,9 @@ fn sites_in(events: &[TraceEvent]) -> BTreeSet<SiteId> {
             | TraceEvent::Abort { site, .. }
             | TraceEvent::TotalOrder { site, .. }
             | TraceEvent::ViewChange { site, .. }
-            | TraceEvent::Crash { site, .. } => {
+            | TraceEvent::Crash { site, .. }
+            | TraceEvent::Suspect { site, .. }
+            | TraceEvent::FastDecide { site, .. } => {
                 sites.insert(*site);
             }
         }
@@ -227,6 +229,18 @@ fn instant_event(ev: &TraceEvent) -> Option<String> {
             )
         }
         TraceEvent::Crash { at, site } => instant("crash", at.as_micros(), tid_for(*site), ""),
+        TraceEvent::Suspect { at, site, suspect } => instant(
+            "suspect",
+            at.as_micros(),
+            tid_for(*site),
+            &format!("\"suspect\":{}", suspect.0),
+        ),
+        TraceEvent::FastDecide { at, site, txn } => instant(
+            "fast_decide",
+            at.as_micros(),
+            tid_for(*site),
+            &format!("\"txn\":\"{}\"", txn_label(*txn)),
+        ),
     })
 }
 

@@ -162,7 +162,6 @@ impl ViewManager {
             .filter(|&s| {
                 s == self.me || now.saturating_since(self.last_heard[s.0]) < self.suspect_after
             })
-            .filter(|&s| self.view.contains(s) || !self.view.contains(s))
             .collect();
         let current: BTreeSet<SiteId> = self.view.members.clone();
         if alive != current {
@@ -171,9 +170,32 @@ impl ViewManager {
                 members: alive,
             };
             outbound.push(Outbound::others(MemberWire::Propose(proposal.clone())));
-            self.try_install(proposal, &mut events);
+            self.try_install(proposal, now, &mut events);
         }
         (events, outbound)
+    }
+
+    /// The view members this site's failure detector currently suspects:
+    /// in the installed view, but silent for longer than the suspicion
+    /// timeout.
+    pub fn suspected(&self, now: SimTime) -> BTreeSet<SiteId> {
+        self.suspected_within(now, self.suspect_after)
+    }
+
+    /// Like [`ViewManager::suspected`], but with an explicit silence
+    /// `window`. The speculative fast-commit path probes with a window
+    /// *shorter* than the eviction timeout (a two-level failure detector):
+    /// silence past the short window is enough to exclude a site from a
+    /// vote quorum speculatively, while eviction — which tears the view —
+    /// still waits for the full timeout. Both windows must dwarf the
+    /// worst-case link latency for the speculation to be safe.
+    pub fn suspected_within(&self, now: SimTime, window: SimDuration) -> BTreeSet<SiteId> {
+        self.view
+            .members
+            .iter()
+            .copied()
+            .filter(|&s| s != self.me && now.saturating_since(self.last_heard[s.0]) >= window)
+            .collect()
     }
 
     /// Handles an incoming membership wire message.
@@ -188,7 +210,7 @@ impl ViewManager {
         match wire {
             MemberWire::Heartbeat => {}
             MemberWire::Propose(v) => {
-                self.try_install(v, &mut events);
+                self.try_install(v, now, &mut events);
             }
         }
         (events, Vec::new())
@@ -213,7 +235,7 @@ impl ViewManager {
         self.last_beat = now;
     }
 
-    fn try_install(&mut self, v: View, events: &mut Vec<MemberEvent>) {
+    fn try_install(&mut self, v: View, now: SimTime, events: &mut Vec<MemberEvent>) {
         if v.id <= self.view.id {
             return;
         }
@@ -227,6 +249,16 @@ impl ViewManager {
             self.operational = false;
             events.push(MemberEvent::Isolated);
             return;
+        }
+        // Installing a view is liveness evidence for every member it
+        // re-admits: the proposal quotes someone who heard them. Without
+        // this refresh a rejoining member this site has not yet heard
+        // directly would be re-suspected on the very next tick — before
+        // its first heartbeat lands — and the view would flap.
+        for &s in &v.members {
+            if !self.view.contains(s) && self.last_heard[s.0] < now {
+                self.last_heard[s.0] = now;
+            }
         }
         self.view = v;
         self.operational = true;
@@ -353,6 +385,57 @@ mod tests {
         m.on_wire(SiteId(1), MemberWire::Heartbeat, t(48));
         let (events, _) = m.tick(t(60));
         assert!(events.is_empty());
+    }
+
+    /// Crash → recover → rejoin: a site installing a view that re-admits a
+    /// recovered member it has not heard from directly must not re-suspect
+    /// that member on its next tick. Pre-fix, the install left
+    /// `last_heard` stale, so the tick right after it proposed the
+    /// member's eviction again and the view flapped.
+    #[test]
+    fn readmitted_member_is_not_instantly_resuspected() {
+        let mut m = ViewManager::new(SiteId(0), 3, ms(10), ms(50));
+        m.heard_from(SiteId(1), t(0));
+        m.heard_from(SiteId(2), t(0));
+        // Site 2 crashes; keep site 1 alive past the suspicion timeout.
+        m.heard_from(SiteId(1), t(40));
+        let (events, _) = m.tick(t(55));
+        assert!(matches!(events[..], [MemberEvent::ViewInstalled(_)]));
+        assert_eq!(m.view().len(), 2, "view shrank to the survivors");
+        // Site 1 stays alive; site 2 recovers much later and site 1 (who
+        // heard its first heartbeat) proposes re-admission. Site 0 has not
+        // heard site 2 itself yet — its last_heard[2] is stale.
+        m.heard_from(SiteId(1), t(90));
+        let readmit = View {
+            id: m.view().id + 1,
+            members: [SiteId(0), SiteId(1), SiteId(2)].into_iter().collect(),
+        };
+        let (events, _) = m.on_wire(SiteId(1), MemberWire::Propose(readmit.clone()), t(100));
+        assert_eq!(events, vec![MemberEvent::ViewInstalled(readmit.clone())]);
+        // The very next tick must keep the rejoiner: installing the view
+        // counted as hearing it.
+        let (events, out) = m.tick(t(101));
+        assert!(
+            events.is_empty(),
+            "rejoiner re-suspected before its first heartbeat: {events:?}"
+        );
+        assert!(
+            !out.iter()
+                .any(|o| matches!(&o.wire, MemberWire::Propose(v) if !v.contains(SiteId(2)))),
+            "tick right after re-admission proposed evicting the rejoiner"
+        );
+        assert_eq!(m.view(), &readmit);
+    }
+
+    /// The suspected set is exactly the stale view members, never me.
+    #[test]
+    fn suspected_set_tracks_stale_members() {
+        let mut m = ViewManager::new(SiteId(0), 3, ms(10), ms(50));
+        m.heard_from(SiteId(1), t(40));
+        m.heard_from(SiteId(2), t(1));
+        let s = m.suspected(t(60));
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![SiteId(2)]);
+        assert!(m.suspected(t(41)).is_empty());
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct ClusterConfig {
     pub membership: bool,
     /// Failure-detector suspicion timeout.
     pub suspect_after: SimDuration,
+    /// Speculative fast commit (reliable and causal protocols, membership
+    /// on): decide from the surviving quorum's votes as soon as every
+    /// missing voter is suspected by the failure detector, instead of
+    /// waiting out the view change.
+    pub fast_commit: bool,
     /// Eager broadcast relaying: every site re-forwards the first copy of
     /// each broadcast, so the reliable/causal protocols tolerate message
     /// loss (pair with a lossy [`NetworkConfig`]).
@@ -117,6 +122,7 @@ impl Default for ClusterConfig {
             null_messages: true,
             membership: false,
             suspect_after: SimDuration::from_millis(100),
+            fast_commit: false,
             relay: false,
             think_time: SimDuration::ZERO,
             placement: Placement::Full,
@@ -201,6 +207,12 @@ impl ClusterBuilder {
     /// Failure-detector suspicion timeout.
     pub fn suspect_after(mut self, d: SimDuration) -> Self {
         self.cfg.suspect_after = d;
+        self
+    }
+
+    /// Enable speculative fast commit under suspicion (reliable/causal).
+    pub fn fast_commit(mut self, on: bool) -> Self {
+        self.cfg.fast_commit = on;
         self
     }
 
@@ -345,6 +357,7 @@ impl Cluster {
             null_messages: cfg.null_messages,
             membership: cfg.membership,
             suspect_after: cfg.suspect_after,
+            fast_commit: cfg.fast_commit,
             relay: cfg.relay,
             think_time: cfg.think_time,
             placement: cfg.placement,

@@ -37,6 +37,10 @@ pub struct NodeConfig {
     pub membership: bool,
     /// Failure-detector suspicion timeout (when membership is on).
     pub suspect_after: SimDuration,
+    /// Speculative fast commit (reliable and causal protocols, membership
+    /// on): decide from the surviving quorum's votes/acks once every
+    /// missing voter is suspected, instead of waiting out the view change.
+    pub fast_commit: bool,
     /// Eager broadcast relaying (loss tolerance for the reliable and
     /// causal protocols at `O(N²)` message cost).
     pub relay: bool,
@@ -66,6 +70,7 @@ impl Default for NodeConfig {
             null_messages: true,
             membership: false,
             suspect_after: SimDuration::from_millis(100),
+            fast_commit: false,
             relay: false,
             think_time: SimDuration::ZERO,
             placement: crate::placement::Placement::Full,
@@ -112,6 +117,9 @@ pub struct ReplicaNode {
     /// stored back (drained, capacity kept) by [`ReplicaNode::flush`], so
     /// steady-state steps allocate no effect vectors at all.
     scratch: Effects,
+    /// The suspicion set reported to the protocol on the previous
+    /// membership tick; `Suspect` trace events fire on its growth.
+    last_suspected: BTreeSet<SiteId>,
 }
 
 impl ReplicaNode {
@@ -126,11 +134,13 @@ impl ReplicaNode {
             }
             ProtocolKind::ReliableBcast => {
                 st.resolve_read_deadlocks = true;
-                Proto::Reliable(if cfg.relay {
+                let mut p = if cfg.relay {
                     ReliableProto::new_with_relay(me, n)
                 } else {
                     ReliableProto::new(me, n)
-                })
+                };
+                p.fast_commit = cfg.fast_commit;
+                Proto::Reliable(p)
             }
             ProtocolKind::CausalBcast => {
                 st.wound_remote = false;
@@ -141,6 +151,7 @@ impl ReplicaNode {
                     CausalProto::new(me, n)
                 };
                 p.null_messages = cfg.null_messages;
+                p.fast_commit = cfg.fast_commit;
                 Proto::Causal(p)
             }
             ProtocolKind::AtomicBcast => {
@@ -163,6 +174,7 @@ impl ReplicaNode {
             batcher,
             flush_armed: false,
             scratch: Effects::new(),
+            last_suspected: BTreeSet::new(),
         }
     }
 
@@ -243,6 +255,7 @@ impl ReplicaNode {
             m.resume(v, now);
         }
         self.tick_armed = false;
+        self.last_suspected.clear();
         // Anything queued for batching at crash time is stale: discard it.
         // A leftover FlushBatch timer is harmless (flushing empty is a
         // no-op), so just let the next send re-arm.
@@ -390,7 +403,37 @@ impl ReplicaNode {
         for ob in outbound {
             fx.send(ob.dest, ReplicaMsg::Member(ob.wire));
         }
+        // Snapshot the failure detector's *speculative* suspicion set after
+        // the tick (view installs refresh liveness for re-admitted members),
+        // before `apply_member_events` needs `&mut self`. The speculation
+        // window is half the eviction timeout: eviction installs the
+        // shrunken view at the very tick full suspicion fires, so a fast
+        // commit only beats the view change if it suspects sooner. Half the
+        // timeout still dwarfs the worst-case link latency, which is all
+        // the safety argument needs (DESIGN.md §15).
+        let suspected = self.cfg.fast_commit.then(|| {
+            let window = SimDuration::from_micros(self.cfg.suspect_after.as_micros() / 2);
+            m.suspected_within(now, window)
+        });
         self.apply_member_events(fx, now, events);
+        if let Some(suspected) = suspected {
+            let me = self.st.me;
+            for &s in suspected.difference(&self.last_suspected) {
+                self.st.tracer.emit(|| TraceEvent::Suspect {
+                    at: now,
+                    site: me,
+                    suspect: s,
+                });
+            }
+            self.last_suspected.clone_from(&suspected);
+            match &mut self.proto {
+                Proto::Reliable(p) => p.on_suspect(&mut self.st, fx, now, &suspected),
+                Proto::Causal(p) => p.on_suspect(&mut self.st, fx, now, &suspected),
+                // The baseline decides over all n sites and the atomic
+                // protocol's delivery is ack-free: no quorum to shrink.
+                Proto::P2p(_) | Proto::Atomic(_) => {}
+            }
+        }
     }
 
     fn apply_member_events(&mut self, fx: &mut Effects, now: SimTime, events: Vec<MemberEvent>) {

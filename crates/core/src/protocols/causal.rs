@@ -84,6 +84,13 @@ pub struct CausalProto {
     info: BTreeMap<TxnId, CbTxn>,
     /// Emit a null message on ticks while transactions are undecided.
     pub null_messages: bool,
+    /// Speculative fast commit: when the failure detector suspects a view
+    /// member, close the implicit-acknowledgement wait from the surviving
+    /// quorum instead of the full view — see `try_decide`.
+    pub fast_commit: bool,
+    /// View members the local failure detector currently suspects
+    /// (refreshed by the engine on every membership tick).
+    suspected: BTreeSet<SiteId>,
     /// Loss-recovery mode: retransmit archived messages to lagging peers.
     recover_losses: bool,
     /// Paced write phases: next operation index per local transaction.
@@ -127,6 +134,8 @@ impl CausalProto {
             view: (0..n).map(SiteId).collect(),
             info: BTreeMap::new(),
             null_messages: true,
+            fast_commit: false,
+            suspected: BTreeSet::new(),
             recover_losses: false,
             writing: BTreeMap::new(),
             last_bcast_vc: VectorClock::new(n),
@@ -183,6 +192,33 @@ impl CausalProto {
         self.max_cr_seq = VectorClock::new(self.max_cr_seq.len());
         self.open_writers.clear();
         self.view = view;
+        self.suspected.clear();
+    }
+
+    /// Refreshes the failure detector's suspicion set and re-evaluates
+    /// every transaction still waiting on implicit acknowledgements: a
+    /// fresh suspicion may let the fast-commit rule close an ack wait
+    /// that the suspect would never complete.
+    pub fn on_suspect(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        suspected: &BTreeSet<SiteId>,
+    ) {
+        if self.suspected == *suspected {
+            return;
+        }
+        self.suspected = suspected.clone();
+        if self.suspected.is_empty() {
+            return;
+        }
+        let waiting: Vec<TxnId> = self.ack_waiting.iter().copied().collect();
+        let mut work = std::mem::take(&mut self.idle_work);
+        for txn in waiting {
+            self.try_decide(st, now, txn, &mut work);
+        }
+        self.pump(st, fx, now, work);
     }
 
     /// Handles events produced outside the protocol.
@@ -776,7 +812,28 @@ impl CausalProto {
             work.extend(events.into_iter().map(Work::Event));
             return;
         }
-        if info.cr_seq.is_none() || !self.view.iter().all(|s| info.acked.contains(s)) {
+        if info.cr_seq.is_none() {
+            return;
+        }
+        let full_view_acked = self.view.iter().all(|s| info.acked.contains(s));
+        // Speculative fast path: every member whose acknowledgement is
+        // still missing is suspected crashed, and the surviving ackers are
+        // a strict majority of the view. Their acks close the concurrency
+        // window for every *surviving* origin (causal order puts an
+        // origin's concurrent writes before its ack), and anything the
+        // suspect broadcast before falling silent arrived long ago — the
+        // suspicion timeout dwarfs the link latency. So the deterministic
+        // evaluation below sees every candidate, exactly as if the view
+        // change evicting the suspect had already been installed.
+        let fast = !full_view_acked
+            && self.fast_commit
+            && !self.suspected.is_empty()
+            && self
+                .view
+                .iter()
+                .all(|s| info.acked.contains(s) || self.suspected.contains(s))
+            && 2 * self.view.iter().filter(|s| info.acked.contains(s)).count() > self.view.len();
+        if !full_view_acked && !fast {
             return;
         }
         let Some(entry) = st.remote.get(&txn) else {
@@ -814,6 +871,9 @@ impl CausalProto {
             // The implicit-acknowledgement wait ends here: the ack set is
             // complete and the verdict is fixed, whether or not the lock
             // queue lets us apply yet.
+            if fast {
+                st.trace_fast_decide(txn, now);
+            }
             st.trace_decided(txn, true, now);
             if st.remote.get(&txn).expect("present").fully_prepared() {
                 st.apply_commit(txn, now, &mut events);

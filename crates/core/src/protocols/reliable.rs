@@ -42,6 +42,13 @@ pub struct ReliableProto {
     /// Paced write phases: next operation index per local transaction
     /// (only used when the cluster configures per-operation think time).
     writing: std::collections::BTreeMap<TxnId, usize>,
+    /// Speculative fast commit (Emerson & Ezhilchelvan): when the failure
+    /// detector suspects a view member, decide from the surviving quorum's
+    /// votes instead of waiting for the suspect — see `try_decide`.
+    pub fast_commit: bool,
+    /// View members the local failure detector currently suspects
+    /// (refreshed by the engine on every membership tick).
+    suspected: BTreeSet<SiteId>,
     /// Reusable work queue: taken at each protocol entry point and
     /// handed back (empty) by `pump`, so steady-state message handling
     /// never allocates a fresh queue.
@@ -59,6 +66,8 @@ impl ReliableProto {
             rb: ReliableBcast::new(me, n).without_archive(),
             view: (0..n).map(SiteId).collect(),
             writing: std::collections::BTreeMap::new(),
+            fast_commit: false,
+            suspected: BTreeSet::new(),
         }
     }
 
@@ -71,6 +80,8 @@ impl ReliableProto {
             rb: ReliableBcast::new(me, n).with_relay(),
             view: (0..n).map(SiteId).collect(),
             writing: std::collections::BTreeMap::new(),
+            fast_commit: false,
+            suspected: BTreeSet::new(),
         }
     }
 
@@ -83,6 +94,38 @@ impl ReliableProto {
     pub fn resume(&mut self, watermarks: &[u64], view: BTreeSet<SiteId>) {
         self.rb.resume_from(watermarks);
         self.view = view;
+        self.suspected.clear();
+    }
+
+    /// Refreshes the failure detector's suspicion set and re-evaluates
+    /// every undecided transaction: a fresh suspicion may complete a
+    /// surviving quorum that the fast-commit rule can decide from now,
+    /// before the view change that would evict the suspect lands.
+    pub fn on_suspect(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        suspected: &BTreeSet<SiteId>,
+    ) {
+        if self.suspected == *suspected {
+            return;
+        }
+        self.suspected = suspected.clone();
+        if self.suspected.is_empty() {
+            return;
+        }
+        let undecided: Vec<TxnId> = st
+            .remote
+            .keys()
+            .filter(|t| !st.decided.contains_key(t))
+            .copied()
+            .collect();
+        let mut work = std::mem::take(&mut self.idle_work);
+        for txn in undecided {
+            self.try_decide(st, now, txn, &mut work);
+        }
+        self.pump(st, fx, now, work);
     }
 
     /// Handles events produced outside the protocol (submission read
@@ -491,6 +534,16 @@ impl ReliableProto {
 
     /// Decides `txn` once the view's votes are in (decentralized 2PC: each
     /// site decides independently from the same votes).
+    ///
+    /// With [`ReliableProto::fast_commit`] enabled, a transaction whose
+    /// only missing voters are *suspected* sites is decided speculatively
+    /// from the surviving quorum: if a strict majority of the view voted
+    /// YES (our own YES among them) and nobody voted NO, commit without
+    /// waiting for the suspects — the decision a view change would reach
+    /// anyway, taken one failure-detection round earlier. The
+    /// abort-on-late-conflicting-vote rule is the NO-first ordering here:
+    /// a conflicting NO that lands before the speculative decision always
+    /// wins; one that lands after is ignored (the decision is final).
     fn try_decide(
         &mut self,
         st: &mut SiteState,
@@ -509,6 +562,23 @@ impl ReliableProto {
             let reason = entry.doomed.unwrap_or(AbortReason::NegativeVote);
             st.apply_remote_abort(txn, reason, now, &mut events);
         } else if self.view.iter().all(|s| entry.votes_yes.contains(s)) {
+            st.apply_commit(txn, now, &mut events);
+        } else if self.fast_commit
+            // Our own YES is in: the local write set is complete and
+            // prepared, so the commit can apply here immediately.
+            && entry.my_vote == Some(true)
+            // Every missing voter is suspected by the failure detector…
+            && self
+                .view
+                .iter()
+                .all(|s| entry.votes_yes.contains(s) || self.suspected.contains(s))
+            // …and the surviving YES voters are a strict majority of the
+            // view, so no other view can decide differently.
+            && 2 * self.view.iter().filter(|s| entry.votes_yes.contains(s)).count()
+                > self.view.len()
+        {
+            st.trace_fast_decide(txn, now);
+            st.trace_decided(txn, true, now);
             st.apply_commit(txn, now, &mut events);
         }
         work.extend(events.into_iter().map(Work::Event));

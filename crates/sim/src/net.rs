@@ -154,8 +154,10 @@ pub struct Network {
     /// no-failures common case is a single comparison.
     crashed: Vec<bool>,
     crashed_count: usize,
-    /// Pairs that cannot currently communicate (symmetric entries stored
-    /// in both directions). Kept as a set — partitions are rare and
+    /// Unordered pairs that cannot currently communicate, keyed in
+    /// normalized `(min, max)` form so a cut is symmetric *by
+    /// construction*: there is no way to sever or heal only one
+    /// direction of a link. Kept as a set — partitions are rare and
     /// short-lived — and guarded by an `is_empty` check on the hot path.
     severed: HashSet<(SiteId, SiteId)>,
     messages_sent: u64,
@@ -295,16 +297,23 @@ impl Network {
         self.crashed.get(site.0).copied().unwrap_or(false)
     }
 
+    /// Normalized key for the unordered pair `{a, b}`.
+    fn pair_key(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
     /// Severs bidirectional communication between `a` and `b`.
     pub fn sever(&mut self, a: SiteId, b: SiteId) {
-        self.severed.insert((a, b));
-        self.severed.insert((b, a));
+        self.severed.insert(Self::pair_key(a, b));
     }
 
     /// Restores communication between `a` and `b`.
     pub fn heal(&mut self, a: SiteId, b: SiteId) {
-        self.severed.remove(&(a, b));
-        self.severed.remove(&(b, a));
+        self.severed.remove(&Self::pair_key(a, b));
     }
 
     /// Partitions the sites into two groups that cannot talk to each other.
@@ -322,7 +331,7 @@ impl Network {
     }
 
     fn is_severed(&self, a: SiteId, b: SiteId) -> bool {
-        self.severed.contains(&(a, b))
+        self.severed.contains(&Self::pair_key(a, b))
     }
 
     /// Total messages accepted by the network so far.
@@ -469,6 +478,32 @@ mod tests {
         net.heal_all();
         assert!(matches!(
             net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r),
+            Transit::DeliverAt(_)
+        ));
+    }
+
+    #[test]
+    fn sever_and_heal_are_symmetric_regardless_of_argument_order() {
+        let mut net = Network::new(NetworkConfig::deterministic(SimDuration::from_millis(1)));
+        let mut r = rng();
+        // Cut as (0,2); both directions must drop.
+        net.sever(SiteId(0), SiteId(2));
+        assert_eq!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r),
+            Transit::Dropped
+        );
+        assert_eq!(
+            net.transit(SimTime::ZERO, SiteId(2), SiteId(0), 1, &mut r),
+            Transit::Dropped
+        );
+        // Heal with the arguments *swapped*; both directions must flow.
+        net.heal(SiteId(2), SiteId(0));
+        assert!(matches!(
+            net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1, &mut r),
+            Transit::DeliverAt(_)
+        ));
+        assert!(matches!(
+            net.transit(SimTime::ZERO, SiteId(2), SiteId(0), 1, &mut r),
             Transit::DeliverAt(_)
         ));
     }

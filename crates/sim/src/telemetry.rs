@@ -362,6 +362,29 @@ pub enum TraceEvent {
         /// The crashed site.
         site: SiteId,
     },
+    /// This site's failure detector started suspecting a view member
+    /// (silent past the suspicion timeout). Arms the speculative
+    /// fast-commit path: votes from suspects are no longer awaited.
+    Suspect {
+        /// Virtual time the suspicion was raised.
+        at: SimTime,
+        /// The suspecting site.
+        site: SiteId,
+        /// The suspected (silent) member.
+        suspect: SiteId,
+    },
+    /// A site decided a transaction speculatively, from a surviving
+    /// quorum's votes, without waiting for suspected members. Always
+    /// followed by the matching [`TraceEvent::Decided`] /
+    /// [`TraceEvent::Commit`] / [`TraceEvent::Abort`].
+    FastDecide {
+        /// Virtual time of the speculative decision.
+        at: SimTime,
+        /// The deciding site.
+        site: SiteId,
+        /// The decided transaction.
+        txn: TxnRef,
+    },
 }
 
 impl TraceEvent {
@@ -381,7 +404,9 @@ impl TraceEvent {
             | TraceEvent::Abort { at, .. }
             | TraceEvent::TotalOrder { at, .. }
             | TraceEvent::ViewChange { at, .. }
-            | TraceEvent::Crash { at, .. } => at,
+            | TraceEvent::Crash { at, .. }
+            | TraceEvent::Suspect { at, .. }
+            | TraceEvent::FastDecide { at, .. } => at,
         }
     }
 
@@ -523,6 +548,19 @@ impl TraceEvent {
                 at.as_micros(),
                 site.0
             ),
+            TraceEvent::Suspect { at, site, suspect } => format!(
+                "{{\"ev\":\"suspect\",\"at\":{},\"site\":{},\"suspect\":{}}}",
+                at.as_micros(),
+                site.0,
+                suspect.0
+            ),
+            TraceEvent::FastDecide { at, site, txn } => format!(
+                "{{\"ev\":\"fast_decide\",\"at\":{},\"site\":{},\"origin\":{},\"num\":{}}}",
+                at.as_micros(),
+                site.0,
+                txn.origin.0,
+                txn.num
+            ),
         }
     }
 
@@ -639,6 +677,16 @@ impl TraceEvent {
             "crash" => Ok(TraceEvent::Crash {
                 at,
                 site: site("site")?,
+            }),
+            "suspect" => Ok(TraceEvent::Suspect {
+                at,
+                site: site("site")?,
+                suspect: site("suspect")?,
+            }),
+            "fast_decide" => Ok(TraceEvent::FastDecide {
+                at,
+                site: site("site")?,
+                txn: txn()?,
             }),
             other => Err(format!("unknown event type {other:?}")),
         }
@@ -1243,6 +1291,11 @@ impl TraceInvariants {
             }
             TraceEvent::ViewChange { .. } => {}
             TraceEvent::Crash { .. } => self.crashed = true,
+            // Failure-detector bookkeeping: suspicion and speculative
+            // decisions have no cross-event invariant of their own — the
+            // Commit/Abort events a fast decision produces are checked
+            // like any other termination.
+            TraceEvent::Suspect { .. } | TraceEvent::FastDecide { .. } => {}
         }
     }
 
@@ -1463,6 +1516,16 @@ mod tests {
             to: SiteId(1),
             msgs: 3,
             bytes: 200,
+        });
+        all.push(TraceEvent::Suspect {
+            at: t(13),
+            site: SiteId(0),
+            suspect: SiteId(2),
+        });
+        all.push(TraceEvent::FastDecide {
+            at: t(14),
+            site: SiteId(0),
+            txn: txn(1, 3),
         });
         let mut sink = JsonlSink::new(Vec::new());
         for ev in &all {

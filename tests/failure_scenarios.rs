@@ -3,6 +3,8 @@
 
 use bcastdb::prelude::*;
 use bcastdb::protocols::ProtocolKind;
+use bcastdb::workload::WorkloadConfig;
+use proptest::prelude::*;
 
 fn failure_cluster(proto: ProtocolKind, sites: usize, seed: u64) -> Cluster {
     Cluster::builder()
@@ -147,33 +149,39 @@ fn redo_log_recovers_committed_state() {
 
 #[test]
 fn in_flight_transactions_from_crashed_origin_abort() {
-    // Crash an origin right after submission: the survivors must not keep
-    // its transaction pending forever once the view changes.
-    let mut c = failure_cluster(ProtocolKind::ReliableBcast, 5, 47);
-    c.run_until(SimTime::from_micros(20_000));
-    // Submit at site 4 and crash it almost immediately — before votes can
-    // complete (the suspicion timeout far exceeds the commit latency, so
-    // pick a crash instant right after the submit timer).
-    c.submit_at(
-        SimTime::from_micros(21_000),
-        SiteId(4),
-        TxnSpec::new().write("z", 9),
-    );
-    c.run_until(SimTime::from_micros(21_500));
-    c.crash(SiteId(4));
-    c.run_until(SimTime::from_micros(800_000));
-    // Survivors either committed it (decision raced the crash) or aborted
-    // it via the view change; nobody may be stuck undecided.
-    for s in (0..4).map(SiteId) {
-        let st = c.replica(s).state();
-        assert!(
-            !st.has_undecided(),
-            "{s} still has undecided transactions after view change"
+    // Crash an origin right after submission: under every protocol the
+    // survivors must not keep its transaction pending forever once the
+    // view changes. The termination mechanism differs — explicit votes
+    // (reliable), implicit acks (causal), the total order (atomic), or
+    // the engine's departed-origin sweep (p2p) — but the obligation is
+    // the same.
+    for proto in ProtocolKind::ALL {
+        let mut c = failure_cluster(proto, 5, 47);
+        c.run_until(SimTime::from_micros(20_000));
+        // Submit at site 4 and crash it almost immediately — before votes
+        // can complete (the suspicion timeout far exceeds the commit
+        // latency, so pick a crash instant right after the submit timer).
+        c.submit_at(
+            SimTime::from_micros(21_000),
+            SiteId(4),
+            TxnSpec::new().write("z", 9),
         );
+        c.run_until(SimTime::from_micros(21_500));
+        c.crash(SiteId(4));
+        c.run_until(SimTime::from_micros(800_000));
+        // Survivors either committed it (decision raced the crash) or
+        // aborted it via the view change; nobody may be stuck undecided.
+        for s in (0..4).map(SiteId) {
+            let st = c.replica(s).state();
+            assert!(
+                !st.has_undecided(),
+                "{proto}: {s} still has undecided transactions after view change"
+            );
+        }
+        let survivors: Vec<SiteId> = (0..4).map(SiteId).collect();
+        c.check_serializability_among(&survivors)
+            .unwrap_or_else(|v| panic!("{proto}: {v}"));
     }
-    let survivors: Vec<SiteId> = (0..4).map(SiteId).collect();
-    c.check_serializability_among(&survivors)
-        .expect("serializable");
 }
 
 #[test]
@@ -296,4 +304,72 @@ fn partition_and_heal_round_trip() {
         c.is_committed(t2),
         "healed minority site must serve transactions"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 0, // each case is two full simulations; don't shrink
+    })]
+
+    /// A partition that is fully healed before any traffic crosses it must
+    /// leave no trace: the same workload then produces *byte-identical*
+    /// metrics to a run that was never partitioned. This is the symmetry
+    /// contract of `Network::sever`/`heal` — if healing ever restored only
+    /// one direction of a link, the surviving cut would drop messages and
+    /// the metrics would diverge.
+    #[test]
+    fn healed_partition_is_indistinguishable_from_no_partition(
+        proto in prop_oneof![
+            Just(ProtocolKind::PointToPoint),
+            Just(ProtocolKind::ReliableBcast),
+            Just(ProtocolKind::CausalBcast),
+            Just(ProtocolKind::AtomicBcast),
+        ],
+        sites in 3usize..6,
+        seed in 0u64..500,
+        cut in 1usize..5,
+        n_keys in 5usize..40,
+        txns_per_site in 2usize..6,
+        gap_us in 500u64..10_000,
+    ) {
+        let cut = cut.min(sites - 1);
+        let cfg = WorkloadConfig {
+            n_keys,
+            theta: 0.4,
+            reads_per_txn: 1,
+            writes_per_txn: 2,
+            reads_per_ro_txn: 2,
+            readonly_fraction: 0.2,
+        };
+        let run_metrics = |partitioned: bool| {
+            let mut c = Cluster::builder()
+                .sites(sites)
+                .protocol(proto)
+                .seed(seed)
+                .build();
+            if partitioned {
+                let group_a: Vec<SiteId> = (0..cut).map(SiteId).collect();
+                let group_b: Vec<SiteId> = (cut..sites).map(SiteId).collect();
+                c.partition(&group_a, &group_b);
+            }
+            // Idle window while (possibly) severed, then heal everything
+            // before the first message is submitted.
+            c.run_until(SimTime::from_micros(30_000));
+            c.heal_partitions();
+            let report = WorkloadRun::new(cfg.clone(), seed ^ 0x5a5a).open_loop(
+                &mut c,
+                txns_per_site,
+                SimDuration::from_micros(gap_us),
+            );
+            prop_assert!(report.quiesced, "{proto}: did not quiesce");
+            Ok(format!("{:?}", report.metrics))
+        };
+        let healed = run_metrics(true)?;
+        let pristine = run_metrics(false)?;
+        prop_assert_eq!(
+            healed, pristine,
+            "{}: a healed partition left residue in the metrics", proto
+        );
+    }
 }

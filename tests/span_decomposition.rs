@@ -248,6 +248,16 @@ fn event() -> impl Strategy<Value = TraceEvent> {
                 bytes,
             }
         ),
+        (time(), site(), site()).prop_map(|(at, site, suspect)| TraceEvent::Suspect {
+            at,
+            site,
+            suspect
+        }),
+        (time(), site(), txn()).prop_map(|(at, site, txn)| TraceEvent::FastDecide {
+            at,
+            site,
+            txn
+        }),
     ]
 }
 
