@@ -17,10 +17,12 @@
 //!   ledger** is a violation — a silently dropped benchmark must not pass
 //!   the gate.
 //!
-//! Experiments that exist only in the current ledger are reported but do
-//! not fail the gate (new benchmarks are allowed to appear). The CLI
-//! entry point is `bcast-trace perf-diff`; CI runs it against the
-//! committed ledger (see `.github/workflows/ci.yml`).
+//! Experiments present only in the **current** ledger are *added*: they
+//! are reported (with their fresh numbers and an `added` status) and
+//! never fail the gate, so a PR that introduces a new experiment does not
+//! have to regenerate the committed baseline just to get CI past the perf
+//! gate. The CLI entry point is `bcast-trace perf-diff`; CI runs it
+//! against the committed ledger (see `.github/workflows/ci.yml`).
 //!
 //! The parser is hand-rolled for the fixed ledger schema — the workspace
 //! deliberately has no JSON dependency.
@@ -138,7 +140,8 @@ pub enum DiffStatus {
     Regressed(Vec<String>),
     /// Present in the baseline but absent from the current ledger.
     MissingInCurrent,
-    /// Present only in the current ledger (informational).
+    /// Added: present only in the current ledger (informational, never a
+    /// violation — new experiments must not force a baseline refresh).
     NewInCurrent,
 }
 
@@ -226,7 +229,7 @@ impl DiffReport {
                 DiffStatus::Ok => "ok".to_string(),
                 DiffStatus::Regressed(_) => "REGRESSED".to_string(),
                 DiffStatus::MissingInCurrent => "MISSING".to_string(),
-                DiffStatus::NewInCurrent => "new".to_string(),
+                DiffStatus::NewInCurrent => "added".to_string(),
             };
             let _ = writeln!(
                 out,
@@ -235,10 +238,20 @@ impl DiffReport {
             );
         }
         let violations = self.violations();
+        let added = self
+            .rows
+            .iter()
+            .filter(|r| r.status == DiffStatus::NewInCurrent)
+            .count();
         if violations.is_empty() {
+            let added_note = if added > 0 {
+                format!(", {added} added without baseline")
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "perf-diff: ok ({} experiments within thresholds: events/sec -{:.0}%, allocs/event +{:.0}%)",
+                "perf-diff: ok ({} experiments within thresholds: events/sec -{:.0}%, allocs/event +{:.0}%{added_note})",
                 self.rows.len(),
                 self.config.max_regress * 100.0,
                 self.config.max_alloc_regress * 100.0
@@ -598,13 +611,33 @@ mod tests {
     }
 
     #[test]
-    fn new_experiment_is_informational() {
+    fn added_experiment_is_informational_and_passes_the_gate() {
         let base = ledger(&[("f2", 100_000.0, 5.0)]);
         let cur = ledger(&[("f2", 100_000.0, 5.0), ("f9", 10_000.0, 2.0)]);
         let report = diff_ledgers(&base, &cur, DiffConfig::default());
-        assert!(report.is_ok());
+        assert!(report.is_ok(), "added experiments must not fail the gate");
+        assert!(report.violations().is_empty());
         assert_eq!(report.rows[1].status, DiffStatus::NewInCurrent);
-        assert!(report.render().contains("new"));
+        let text = report.render();
+        assert!(text.contains("added"), "{text}");
+        assert!(text.contains("1 added without baseline"), "{text}");
+        assert!(text.contains("perf-diff: ok"), "{text}");
+    }
+
+    /// The combination the satellite exists for: a PR adds an experiment
+    /// *and* a baseline experiment regresses. The added row stays
+    /// informational while the regression still fails — the two paths must
+    /// not be lumped together.
+    #[test]
+    fn added_experiment_does_not_mask_a_real_regression() {
+        let base = ledger(&[("f2", 100_000.0, 5.0)]);
+        let cur = ledger(&[("f2", 50_000.0, 5.0), ("a1_saturation", 10_000.0, 2.0)]);
+        let report = diff_ledgers(&base, &cur, DiffConfig::default());
+        assert!(!report.is_ok());
+        let v = report.violations();
+        assert_eq!(v.len(), 1, "only the regression is a violation: {v:?}");
+        assert!(v[0].contains("f2"), "{}", v[0]);
+        assert_eq!(report.rows[1].status, DiffStatus::NewInCurrent);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! deltas.
 
 use bcastdb_bench::{check_traced_run, TRACE_CAPACITY};
-use bcastdb_core::{Cluster, ProtocolKind};
+use bcastdb_core::{AbcastImpl, Cluster, ProtocolKind};
 use bcastdb_sim::{DetRng, SimDuration, SimTime, SiteId};
 use bcastdb_workload::WorkloadConfig;
 
@@ -119,6 +119,44 @@ fn phased_crash_run(trace: bool) -> (Vec<(&'static str, u64)>, u64) {
     (phases, cluster.events_processed())
 }
 
+/// Runs an a1-style broadcast-heavy workload on the ring backend (the
+/// regime the a1 saturation sweep measures: 16 sites, where the ring is
+/// the default) and returns the simulation phase's allocation delta plus
+/// the event count. Workload generation and cluster build are excluded —
+/// only the event loop with the ring pipeline (Data forwarding, Commit
+/// circulation, cumulative acks) is measured.
+fn ring_abcast_run() -> (u64, u64) {
+    const SITES: usize = 16;
+    let mut cluster = Cluster::builder()
+        .sites(SITES)
+        .protocol(ProtocolKind::AtomicBcast)
+        .abcast(AbcastImpl::Ring)
+        .seed(91)
+        .build();
+    let cfg = WorkloadConfig {
+        n_keys: 300,
+        theta: 0.5,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let zipf = cfg.sampler();
+    let mut rng = DetRng::new(910);
+    for site in 0..SITES {
+        let mut at = SimTime::from_micros(1_000);
+        let mut site_rng = rng.fork(site as u64);
+        for _ in 0..8 {
+            at += SimDuration::from_millis(10);
+            cluster.submit_at(at, SiteId(site), cfg.gen_txn(&zipf, &mut site_rng));
+        }
+    }
+    let before = allocs();
+    cluster.run_to_quiescence();
+    let sim_allocs = allocs() - before;
+    assert!(cluster.check_serializability().is_ok());
+    (sim_allocs, cluster.events_processed())
+}
+
 #[test]
 fn allocs_per_event_stays_bounded() {
     let (with_trace, events) = phased_crash_run(true);
@@ -180,4 +218,25 @@ fn allocs_per_event_stays_bounded() {
     // reproducible, which the event-count equality of two independent
     // builds (traced vs untraced differ only in observers) attests.
     assert_eq!(events, events_untraced, "tracing changed the simulation");
+
+    // Ring-backend ratchet: the pipelined ring must not regress the
+    // allocation budget. Its hot path (Data forward to successor, Commit
+    // circulation, cumulative Ack, stability pruning) reuses pre-sized
+    // per-site state; the pure-broadcast a1 saturation sweep runs at
+    // ~0.3 allocs/event, and this 16-site *transactional* run measures
+    // ~3.2 (certification and txn bookkeeping across 16 replicas on top
+    // of the broadcast layer). The ceiling leaves ~25% headroom — a
+    // per-hop payload clone or a per-Commit Vec blows far past it.
+    let (ring_allocs, ring_events) = ring_abcast_run();
+    let ring_per_event = ring_allocs as f64 / ring_events as f64;
+    eprintln!(
+        "ring backend (16 sites): {ring_allocs} allocs / {ring_events} events \
+         = {ring_per_event:.3} allocs/event"
+    );
+    assert!(
+        ring_per_event < 4.0,
+        "ring backend now allocates {ring_per_event:.3} times per event \
+         (ceiling 4.0) — a hot-path allocation crept into the ring \
+         pipeline; see PERFORMANCE.md"
+    );
 }

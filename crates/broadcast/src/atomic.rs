@@ -47,7 +47,7 @@ pub struct Output<P, W> {
 }
 
 impl<P, W> Output<P, W> {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         Output {
             deliveries: InlineVec::new(),
             outbound: InlineVec::new(),

@@ -14,9 +14,11 @@
 //!   with the vector clock of every delivery **exposed to the application
 //!   layer** (the causal replication protocol requires this to detect
 //!   concurrent conflicting operations and implicit acknowledgements);
-//! - [`atomic::SequencerAbcast`] / [`atomic::IsisAbcast`] — total-order
-//!   broadcast, in two classical implementations whose cost difference is
-//!   the subject of ablation experiment A1.
+//! - [`atomic::SequencerAbcast`] / [`atomic::IsisAbcast`] /
+//!   [`ring::RingAbcast`] — total-order broadcast, in three classical
+//!   implementations whose cost difference is the subject of ablation
+//!   experiment A1 (the pipelined ring stays bandwidth-bound as the group
+//!   grows where the other two go leader-bound).
 //!
 //! [`membership::ViewManager`] provides majority-quorum views: "as long as
 //! the view has majority membership, the system remains operational".
@@ -60,6 +62,7 @@ pub mod fifo;
 pub mod membership;
 pub mod msg;
 pub mod reliable;
+pub mod ring;
 pub mod vclock;
 
 pub use atomic::{AtomicBcast, IsisAbcast, SequencerAbcast};
@@ -69,4 +72,5 @@ pub use fifo::FifoBcast;
 pub use membership::{View, ViewManager};
 pub use msg::{Dest, MsgId, Outbound};
 pub use reliable::ReliableBcast;
+pub use ring::{RingAbcast, RingWire};
 pub use vclock::{CausalRelation, VectorClock};

@@ -7,6 +7,7 @@
 
 use bcastdb_broadcast::atomic::{AtomicBcast, IsisAbcast, SequencerAbcast};
 use bcastdb_broadcast::msg::expand_dest;
+use bcastdb_broadcast::ring::RingAbcast;
 use bcastdb_broadcast::{CausalBcast, ReliableBcast};
 use bcastdb_sim::SiteId;
 use proptest::prelude::*;
@@ -203,11 +204,102 @@ proptest! {
             (0..n).map(|i| IsisAbcast::new(SiteId(i), n)).collect::<Vec<_>>(),
             &broadcasts,
         );
-        for logs in [&seq_logs, &isis_logs] {
+        let ring_logs = drive(
+            (0..n).map(|i| RingAbcast::new(SiteId(i), n)).collect::<Vec<_>>(),
+            &broadcasts,
+        );
+        for logs in [&seq_logs, &isis_logs, &ring_logs] {
             for site in 1..n {
                 prop_assert_eq!(&logs[site], &logs[0], "total order agreement");
             }
             prop_assert_eq!(logs[0].len(), broadcasts.len());
         }
+        // Per-origin FIFO must also hold for the ring: the pipeline may
+        // interleave origins differently from the sequencer, but a single
+        // origin's messages are gseq-ordered in submission order.
+        for origin in 0..n {
+            let sent: Vec<u64> = broadcasts
+                .iter()
+                .filter(|(o, _)| *o == origin)
+                .map(|&(_, p)| p)
+                .collect();
+            let origin_payloads: std::collections::HashSet<u64> = sent.iter().copied().collect();
+            let got: Vec<u64> = ring_logs[0]
+                .iter()
+                .filter(|p| origin_payloads.contains(p))
+                .copied()
+                .collect();
+            // Duplicate payload values across origins would make the filter
+            // ambiguous; skip those generated cases.
+            let all: Vec<u64> = broadcasts.iter().map(|&(_, p)| p).collect();
+            let unique = all.len()
+                == all
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len();
+            if unique {
+                prop_assert_eq!(&got, &sent, "ring per-origin FIFO for origin {}", origin);
+            }
+        }
+    }
+
+    /// Lock-step cross-backend equivalence: when each broadcast fully
+    /// settles before the next is submitted (every engine drains its wire
+    /// queue between submissions), all three atomic backends must deliver
+    /// the *identical* total order — the submission order. This pins the
+    /// ring backend to the sequencer/ISIS semantics on identical inputs;
+    /// any reordering, loss, or duplication in the ring pipeline breaks it.
+    #[test]
+    fn ring_matches_sequencer_and_isis_order_lock_step(broadcasts in script(5, 20)) {
+        let n = 5;
+        fn drive_serialized<A: AtomicBcast<u64>>(mut engines: Vec<A>, script: &[(usize, u64)]) -> Vec<Vec<u64>> {
+            let n = engines.len();
+            let mut logs = vec![Vec::new(); n];
+            for &(origin, payload) in script {
+                let mut wires = std::collections::VecDeque::new();
+                let (_, out) = engines[origin].broadcast(payload);
+                for d in out.deliveries {
+                    logs[origin].push(d.payload);
+                }
+                for ob in out.outbound {
+                    for to in expand_dest(ob.dest, SiteId(origin), n) {
+                        wires.push_back((to, ob.wire.clone()));
+                    }
+                }
+                // Drain to quiescence before the next submission.
+                while let Some((to, wire)) = wires.pop_front() {
+                    let out = engines[to.0].on_wire(SiteId(0), wire);
+                    for d in out.deliveries {
+                        logs[to.0].push(d.payload);
+                    }
+                    for ob in out.outbound {
+                        for dest in expand_dest(ob.dest, to, n) {
+                            wires.push_back((dest, ob.wire.clone()));
+                        }
+                    }
+                }
+            }
+            logs
+        }
+        let seq_logs = drive_serialized(
+            (0..n).map(|i| SequencerAbcast::new(SiteId(i), n)).collect::<Vec<_>>(),
+            &broadcasts,
+        );
+        let isis_logs = drive_serialized(
+            (0..n).map(|i| IsisAbcast::new(SiteId(i), n)).collect::<Vec<_>>(),
+            &broadcasts,
+        );
+        let ring_logs = drive_serialized(
+            (0..n).map(|i| RingAbcast::new(SiteId(i), n)).collect::<Vec<_>>(),
+            &broadcasts,
+        );
+        let submitted: Vec<u64> = broadcasts.iter().map(|&(_, p)| p).collect();
+        for logs in [&seq_logs, &isis_logs, &ring_logs] {
+            for site_log in logs.iter() {
+                prop_assert_eq!(site_log, &submitted, "serialized order is submission order");
+            }
+        }
+        prop_assert_eq!(&ring_logs, &seq_logs, "ring vs sequencer");
+        prop_assert_eq!(&ring_logs, &isis_logs, "ring vs isis");
     }
 }

@@ -47,8 +47,11 @@ pub struct ClusterConfig {
     pub net: NetworkConfig,
     /// Conflict policy (ablation A2).
     pub policy: ConflictPolicy,
-    /// Atomic-broadcast implementation (ablation A1).
-    pub abcast: AbcastImpl,
+    /// Atomic-broadcast implementation (ablation A1). `None` (default)
+    /// picks per group size: the pipelined ring for `sites >= 16`, where
+    /// the A1 saturation sweep shows it staying bandwidth-bound while the
+    /// leader-based backends collapse, and the sequencer below that.
+    pub abcast: Option<AbcastImpl>,
     /// Tick period (timeouts, null messages, membership heartbeats).
     pub tick_every: SimDuration,
     /// Point-to-point deadlock timeout.
@@ -116,7 +119,7 @@ impl Default for ClusterConfig {
             seed: 0,
             net: NetworkConfig::lan(),
             policy: ConflictPolicy::WoundWait,
-            abcast: AbcastImpl::Sequencer,
+            abcast: None,
             tick_every: SimDuration::from_millis(5),
             p2p_timeout: SimDuration::from_millis(500),
             null_messages: true,
@@ -134,6 +137,19 @@ impl Default for ClusterConfig {
             metrics_interval: None,
             metrics_jsonl: None,
         }
+    }
+}
+
+/// The size-dependent default atomic-broadcast backend: leader-based
+/// sequencing is cheapest in small groups (N+1 messages), but its leader
+/// NIC sends N-1 payload copies per broadcast, so from 16 sites up the
+/// pipelined ring — every link carries ~1x the payload bytes regardless of
+/// N — is the default.
+fn default_abcast(sites: usize) -> AbcastImpl {
+    if sites >= 16 {
+        AbcastImpl::Ring
+    } else {
+        AbcastImpl::Sequencer
     }
 }
 
@@ -174,9 +190,10 @@ impl ClusterBuilder {
         self
     }
 
-    /// Atomic-broadcast implementation.
+    /// Atomic-broadcast implementation. Unset, the cluster picks by group
+    /// size (see [`ClusterConfig::abcast`]).
     pub fn abcast(mut self, a: AbcastImpl) -> Self {
-        self.cfg.abcast = a;
+        self.cfg.abcast = Some(a);
         self
     }
 
@@ -350,7 +367,7 @@ impl Cluster {
         assert!(cfg.sites > 0, "a cluster needs at least one site");
         let node_cfg = NodeConfig {
             protocol: cfg.protocol,
-            abcast: cfg.abcast,
+            abcast: cfg.abcast.unwrap_or(default_abcast(cfg.sites)),
             policy: cfg.policy,
             tick_every: cfg.tick_every,
             p2p_timeout: cfg.p2p_timeout,
@@ -1110,6 +1127,41 @@ mod tests {
         // And the stream is reproducible.
         let again = run(true);
         assert_eq!(samples, again.metrics_samples());
+    }
+
+    /// The default backend flips to the ring at 16 sites — observable via
+    /// the ring-only pipeline gauges in the metrics stream — and an
+    /// explicit choice always wins over the size heuristic.
+    #[test]
+    fn abcast_default_flips_to_ring_at_sixteen_sites() {
+        assert_eq!(default_abcast(15), AbcastImpl::Sequencer);
+        assert_eq!(default_abcast(16), AbcastImpl::Ring);
+        let run = |sites: usize, pick: Option<AbcastImpl>| {
+            let mut b = Cluster::builder()
+                .sites(sites)
+                .protocol(ProtocolKind::AtomicBcast)
+                .metrics(SimDuration::from_millis(1))
+                .seed(13);
+            if let Some(a) = pick {
+                b = b.abcast(a);
+            }
+            let mut c = b.build();
+            let id = c.submit(SiteId(0), write_txn("x", 1));
+            c.run_to_quiescence();
+            assert!(c.is_committed(id));
+            assert!(c.replicas_converged());
+            let samples = c.metrics_samples();
+            samples
+                .last()
+                .is_some_and(|s| s.values.contains_key("s0.ring.inflight"))
+        };
+        assert!(!run(3, None), "small groups default to the sequencer");
+        assert!(run(16, None), "16 sites default to the ring");
+        assert!(
+            !run(16, Some(AbcastImpl::Sequencer)),
+            "an explicit backend overrides the size default"
+        );
+        assert!(run(3, Some(AbcastImpl::Ring)));
     }
 
     #[test]

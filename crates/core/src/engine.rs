@@ -440,6 +440,7 @@ impl ReplicaNode {
         for ev in events {
             match ev {
                 MemberEvent::ViewInstalled(view) => {
+                    let view_id = view.id;
                     let members = view.members;
                     let me = self.st.me;
                     let roster: Vec<SiteId> = members.iter().copied().collect();
@@ -474,7 +475,7 @@ impl ReplicaNode {
                         }
                         Proto::Reliable(p) => p.set_view(&mut self.st, fx, now, members),
                         Proto::Causal(p) => p.set_view(&mut self.st, fx, now, members),
-                        Proto::Atomic(p) => p.set_view(&mut self.st, fx, now, members),
+                        Proto::Atomic(p) => p.set_view(&mut self.st, fx, now, view_id, members),
                     }
                 }
                 MemberEvent::Isolated => {
@@ -523,6 +524,9 @@ impl ReplicaNode {
             }
             (ReplicaMsg::AIsis(wire), Proto::Atomic(p)) => {
                 p.on_isis_wire(&mut self.st, fx, now, from, wire)
+            }
+            (ReplicaMsg::ARing(wire), Proto::Atomic(p)) => {
+                p.on_ring_wire(&mut self.st, fx, now, from, wire)
             }
             (ReplicaMsg::P2p(m), Proto::P2p(p)) => p.on_msg(&mut self.st, fx, now, from, m),
             (ReplicaMsg::CRetrans(wire), Proto::Causal(p)) => {
@@ -661,6 +665,14 @@ impl Node for ReplicaNode {
         if let Some(b) = &self.batcher {
             sample.set_site(me, "batch_pending_msgs", b.pending_msgs() as u64);
             sample.set_site(me, "batch_pending_bytes", b.pending_bytes() as u64);
+        }
+        // Ring-backend pipeline gauges, only present when the ring runs —
+        // other backends keep their metrics output byte-identical.
+        if let Proto::Atomic(p) = &self.proto {
+            if let Some((inflight, forwarded)) = p.ring_gauges() {
+                sample.set_site(me, "ring.inflight", inflight);
+                sample.set_site(me, "ring.forwarded", forwarded);
+            }
         }
     }
 }

@@ -4,6 +4,7 @@
 use bcastdb_broadcast::atomic::{IsisWire, SeqWire};
 use bcastdb_broadcast::batch::{WireSize, BATCH_HEADER_BYTES, PER_MSG_OVERHEAD_BYTES};
 use bcastdb_broadcast::membership::MemberWire;
+use bcastdb_broadcast::ring::RingWire;
 use bcastdb_broadcast::{causal, reliable};
 use bcastdb_db::{Key, TxnId, TxnSpec, WriteOp};
 use bcastdb_sim::telemetry::Phase;
@@ -63,6 +64,9 @@ pub enum AbcastImpl {
     Sequencer,
     /// ISIS-style agreed priorities: `3(N-1)` messages, 3 hops.
     Isis,
+    /// Pipelined ring dissemination: `2N-1` messages, every link carries
+    /// ~1x the payload bytes regardless of N (bandwidth-bound at scale).
+    Ring,
 }
 
 /// A transaction's global priority: older (smaller) wins conflicts.
@@ -271,6 +275,8 @@ pub enum ReplicaMsg {
     ASeq(SeqWire<Arc<Payload>>),
     /// ISIS atomic-broadcast wire traffic (`Arc`-shared payload body).
     AIsis(IsisWire<Arc<Payload>>),
+    /// Ring atomic-broadcast wire traffic (`Arc`-shared payload body).
+    ARing(RingWire<Arc<Payload>>),
     /// Point-to-point baseline traffic.
     P2p(P2pMsg),
     /// Membership service traffic.
@@ -299,6 +305,7 @@ impl ReplicaMsg {
             ReplicaMsg::C(w) => Self::payload_kind(&w.payload),
             ReplicaMsg::ASeq(_) => "msg_abcast",
             ReplicaMsg::AIsis(_) => "msg_abcast",
+            ReplicaMsg::ARing(_) => "msg_abcast",
             ReplicaMsg::P2p(m) => match m {
                 P2pMsg::Write { .. } => "msg_write",
                 P2pMsg::WriteAck { .. } => "msg_write_ack",
@@ -330,15 +337,17 @@ impl ReplicaMsg {
     ///
     /// - **prepare** — disseminating a transaction's effects: write
     ///   operations, commit requests, and the payload-carrying legs of the
-    ///   atomic broadcast (sequencer submissions, ISIS data),
+    ///   atomic broadcast (sequencer submissions, ISIS data, ring data
+    ///   hops),
     /// - **vote** — explicit 2PC votes,
     /// - **ack** — acknowledgement-shaped control traffic: per-operation
     ///   write acks (baseline), negative acknowledgements and null
-    ///   keep-alives (causal), ISIS priority proposals,
+    ///   keep-alives (causal), ISIS priority proposals, ring cumulative
+    ///   window acks,
     /// - **decision** — outcome propagation: abort decisions, the
-    ///   sequencer's orderings, ISIS final priorities,
-    /// - **retransmit** — loss recovery: retransmitted causal wires and
-    ///   reliable-broadcast watermark syncs,
+    ///   sequencer's orderings, ISIS final priorities, ring commits,
+    /// - **retransmit** — loss recovery: retransmitted causal wires,
+    ///   reliable-broadcast watermark syncs, ring view-change repair,
     /// - **membership** — heartbeats and view agreement.
     pub fn phase(&self) -> Phase {
         match self {
@@ -352,6 +361,12 @@ impl ReplicaMsg {
                 IsisWire::Data { .. } => Phase::Prepare,
                 IsisWire::Propose { .. } => Phase::Ack,
                 IsisWire::Final { .. } => Phase::Decision,
+            },
+            ReplicaMsg::ARing(w) => match w {
+                RingWire::Data { .. } => Phase::Prepare,
+                RingWire::Commit { .. } => Phase::Decision,
+                RingWire::Ack { .. } => Phase::Ack,
+                RingWire::Repair { .. } => Phase::Retransmit,
             },
             ReplicaMsg::P2p(m) => match m {
                 P2pMsg::Write { .. } | P2pMsg::CommitReq { .. } => Phase::Prepare,
@@ -394,6 +409,7 @@ impl WireSize for ReplicaMsg {
             ReplicaMsg::C(w) | ReplicaMsg::CRetrans(w) => w.wire_size(),
             ReplicaMsg::ASeq(w) => w.wire_size(),
             ReplicaMsg::AIsis(w) => w.wire_size(),
+            ReplicaMsg::ARing(w) => w.wire_size(),
             ReplicaMsg::P2p(m) => m.wire_size(),
             ReplicaMsg::Member(w) => w.wire_size(),
             ReplicaMsg::RSync(watermarks) => 8 * watermarks.len(),
@@ -536,6 +552,32 @@ mod tests {
                 Phase::Decision,
             ),
             (
+                ReplicaMsg::ARing(RingWire::Data {
+                    id,
+                    payload: Arc::new(Payload::Null),
+                    stable: 0,
+                }),
+                Phase::Prepare,
+            ),
+            (
+                ReplicaMsg::ARing(RingWire::Commit {
+                    epoch: 0,
+                    gseq: 1,
+                    id,
+                }),
+                Phase::Decision,
+            ),
+            (ReplicaMsg::ARing(RingWire::Ack { upto: 1 }), Phase::Ack),
+            (
+                ReplicaMsg::ARing(RingWire::Repair {
+                    site: SiteId(1),
+                    epoch: 1,
+                    entries: vec![(0, id)],
+                    delivered: 0,
+                }),
+                Phase::Retransmit,
+            ),
+            (
                 ReplicaMsg::P2p(P2pMsg::WriteAck { txn: t, index: 0 }),
                 Phase::Ack,
             ),
@@ -544,6 +586,166 @@ mod tests {
         ];
         for (msg, want) in cases {
             assert_eq!(msg.phase(), want, "{:?}", msg.kind());
+        }
+    }
+
+    /// Satellite of the bandwidth model: `size_hint` (what the batching
+    /// layer charges the link) must agree with `WireSize` for every
+    /// `ReplicaMsg` variant, and both must match an independently computed
+    /// byte layout. The match below is wildcard-free, so adding a message
+    /// variant without sizing it here fails to compile — silent
+    /// bandwidth-model drift becomes a compile error.
+    #[test]
+    fn wire_size_matches_encoded_layout_for_every_replica_msg() {
+        use bcastdb_broadcast::msg::MsgId;
+        use bcastdb_broadcast::VectorClock;
+        let t = TxnId::new(SiteId(0), 1);
+        let id = MsgId {
+            origin: SiteId(0),
+            seq: 1,
+        };
+        let null = || Arc::new(Payload::Null);
+        let vc = VectorClock::new(3);
+        let view = bcastdb_broadcast::View::initial(3);
+        let exemplars: Vec<ReplicaMsg> = vec![
+            ReplicaMsg::R(reliable::Wire {
+                id,
+                payload: null(),
+            }),
+            ReplicaMsg::C(causal::Wire {
+                id,
+                vc: vc.clone(),
+                payload: null(),
+            }),
+            ReplicaMsg::CRetrans(causal::Wire {
+                id,
+                vc: vc.clone(),
+                payload: null(),
+            }),
+            ReplicaMsg::ASeq(SeqWire::Submit {
+                id,
+                payload: null(),
+            }),
+            ReplicaMsg::ASeq(SeqWire::Ordered {
+                gseq: 1,
+                id,
+                payload: null(),
+            }),
+            ReplicaMsg::AIsis(IsisWire::Data {
+                id,
+                payload: null(),
+            }),
+            ReplicaMsg::AIsis(IsisWire::Propose {
+                id,
+                prio: (1, SiteId(1)),
+            }),
+            ReplicaMsg::AIsis(IsisWire::Final {
+                id,
+                prio: (1, SiteId(1)),
+            }),
+            ReplicaMsg::ARing(RingWire::Data {
+                id,
+                payload: null(),
+                stable: 0,
+            }),
+            ReplicaMsg::ARing(RingWire::Commit {
+                epoch: 0,
+                gseq: 1,
+                id,
+            }),
+            ReplicaMsg::ARing(RingWire::Ack { upto: 1 }),
+            ReplicaMsg::ARing(RingWire::Repair {
+                site: SiteId(1),
+                epoch: 1,
+                entries: vec![(0, id), (1, id)],
+                delivered: 0,
+            }),
+            ReplicaMsg::P2p(P2pMsg::Write {
+                txn: t,
+                op: WriteOp {
+                    key: Key::new("x"),
+                    value: 1,
+                },
+                index: 0,
+            }),
+            ReplicaMsg::P2p(P2pMsg::WriteAck { txn: t, index: 0 }),
+            ReplicaMsg::P2p(P2pMsg::CommitReq {
+                txn: t,
+                writes: vec![WriteOp {
+                    key: Key::new("x"),
+                    value: 1,
+                }],
+            }),
+            ReplicaMsg::P2p(P2pMsg::Vote {
+                txn: t,
+                site: SiteId(1),
+                yes: true,
+            }),
+            ReplicaMsg::P2p(P2pMsg::Abort { txn: t }),
+            ReplicaMsg::Member(MemberWire::Heartbeat),
+            ReplicaMsg::Member(MemberWire::Propose(view.clone())),
+            ReplicaMsg::RSync(vec![0, 0, 0]),
+            ReplicaMsg::Batch(vec![
+                ReplicaMsg::ARing(RingWire::Ack { upto: 1 }),
+                ReplicaMsg::Member(MemberWire::Heartbeat),
+            ]),
+        ];
+        // The documented layouts, written out independently of the
+        // `WireSize` impls: MsgId = 16, one u64 per counter/watermark,
+        // `Payload::Null` = 1, a WriteOp = key bytes + 8-byte value.
+        let body = |m: &ReplicaMsg| -> usize {
+            match m {
+                ReplicaMsg::R(w) => 16 + w.payload.wire_size(),
+                ReplicaMsg::C(w) | ReplicaMsg::CRetrans(w) => {
+                    16 + 8 * w.vc.len() + w.payload.wire_size()
+                }
+                ReplicaMsg::ASeq(SeqWire::Submit { payload, .. }) => 16 + payload.wire_size(),
+                ReplicaMsg::ASeq(SeqWire::Ordered { payload, .. }) => 8 + 16 + payload.wire_size(),
+                ReplicaMsg::AIsis(IsisWire::Data { payload, .. }) => 16 + payload.wire_size(),
+                ReplicaMsg::AIsis(IsisWire::Propose { .. })
+                | ReplicaMsg::AIsis(IsisWire::Final { .. }) => 16 + 16,
+                ReplicaMsg::ARing(RingWire::Data { payload, .. }) => 16 + payload.wire_size() + 8,
+                ReplicaMsg::ARing(RingWire::Commit { .. }) => 8 + 8 + 16,
+                ReplicaMsg::ARing(RingWire::Ack { .. }) => 8,
+                ReplicaMsg::ARing(RingWire::Repair { entries, .. }) => {
+                    8 + 8 + 8 + 24 * entries.len()
+                }
+                ReplicaMsg::P2p(P2pMsg::Write { op, .. }) => 16 + (op.key.as_str().len() + 8) + 8,
+                ReplicaMsg::P2p(P2pMsg::WriteAck { .. }) => 16 + 8,
+                ReplicaMsg::P2p(P2pMsg::CommitReq { writes, .. }) => {
+                    16 + writes
+                        .iter()
+                        .map(|op| op.key.as_str().len() + 8)
+                        .sum::<usize>()
+                }
+                ReplicaMsg::P2p(P2pMsg::Vote { .. }) => 16 + 8 + 1,
+                ReplicaMsg::P2p(P2pMsg::Abort { .. }) => 16,
+                ReplicaMsg::Member(MemberWire::Heartbeat) => 1,
+                ReplicaMsg::Member(MemberWire::Propose(v)) => 1 + 8 + 8 * v.members.len(),
+                ReplicaMsg::RSync(w) => 8 * w.len(),
+                ReplicaMsg::Batch(msgs) => {
+                    let inner: usize = msgs
+                        .iter()
+                        .map(|m| PER_MSG_OVERHEAD_BYTES + m.wire_size())
+                        .sum();
+                    BATCH_HEADER_BYTES + inner
+                }
+            }
+        };
+        for msg in &exemplars {
+            let expected = 1 + body(msg); // 1 tag byte + the variant body
+            assert_eq!(
+                msg.wire_size(),
+                expected,
+                "WireSize drifted from the documented layout: {:?}",
+                msg.kind()
+            );
+            assert_eq!(
+                msg.size_hint(),
+                msg.wire_size(),
+                "size_hint must charge exactly the wire size: {:?}",
+                msg.kind()
+            );
         }
     }
 }

@@ -31,6 +31,7 @@ use bcastdb_broadcast::atomic::{
     AtomicBcast, IsisAbcast, IsisWire, SeqWire, SequencerAbcast, TotalDelivery,
 };
 use bcastdb_broadcast::causal::{self, CausalBcast};
+use bcastdb_broadcast::ring::{RingAbcast, RingWire};
 use bcastdb_db::lock::LockMode;
 use bcastdb_db::sg::ObservedVersion;
 use bcastdb_db::{Key, TxnId};
@@ -39,14 +40,17 @@ use bcastdb_sim::{SimTime, SiteId};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-/// Either atomic-broadcast engine, selected by [`AbcastImpl`].
+/// One of the atomic-broadcast engines, selected by [`AbcastImpl`].
 ///
-/// Both engines carry `Arc<Payload>` so their holdback/pending buffers and
+/// All engines carry `Arc<Payload>` so their holdback/pending buffers and
 /// the per-destination fan-out share one payload allocation per broadcast.
 #[derive(Debug)]
 enum Abcast {
     Seq(SequencerAbcast<Arc<Payload>>),
     Isis(IsisAbcast<Arc<Payload>>),
+    // Boxed: the ring engine's repair/pipeline state dwarfs the other
+    // variants (clippy::large_enum_variant).
+    Ring(Box<RingAbcast<Arc<Payload>>>),
 }
 
 #[derive(Debug)]
@@ -73,6 +77,7 @@ pub struct AbSnapshot {
     causal: bcastdb_broadcast::VectorClock,
     seq: Option<u64>,
     isis: Option<(u64, u64)>,
+    ring: Option<(u64, Vec<(SiteId, u64)>)>,
     latest_writer: std::collections::BTreeMap<Key, TxnId>,
 }
 
@@ -109,6 +114,7 @@ impl AtomicProto {
             ab: match imp {
                 AbcastImpl::Sequencer => Abcast::Seq(SequencerAbcast::new(me, n)),
                 AbcastImpl::Isis => Abcast::Isis(IsisAbcast::new(me, n)),
+                AbcastImpl::Ring => Abcast::Ring(Box::new(RingAbcast::new(me, n))),
             },
             view: (0..n).map(SiteId).collect(),
             cert_queue: VecDeque::new(),
@@ -118,29 +124,35 @@ impl AtomicProto {
         }
     }
 
-    /// Engine snapshots for state transfer: the causal clock plus either
-    /// the sequencer delivery watermark or the ISIS `(lamport, delivered)`
-    /// pair.
+    /// Engine snapshots for state transfer: the causal clock plus the
+    /// sequencer delivery watermark, the ISIS `(lamport, delivered)` pair,
+    /// or the ring `(watermark, per-origin sequence floors)` pair.
     pub fn snapshot(&self) -> AbSnapshot {
         let cb = self.cb.clock().clone();
-        let (seq, isis) = match &self.ab {
-            Abcast::Seq(a) => (Some(a.delivered_watermark()), None),
-            Abcast::Isis(a) => (None, Some((a.lamport(), a.delivered_count()))),
+        let (seq, isis, ring) = match &self.ab {
+            Abcast::Seq(a) => (Some(a.delivered_watermark()), None, None),
+            Abcast::Isis(a) => (None, Some((a.lamport(), a.delivered_count())), None),
+            Abcast::Ring(a) => (None, None, Some((a.delivered_watermark(), a.seq_floors()))),
         };
         AbSnapshot {
             causal: cb,
             seq,
             isis,
+            ring,
             latest_writer: self.latest_writer.clone(),
         }
     }
 
-    /// Resumes a recovered site from a donor's snapshot and view.
+    /// Resumes a recovered site from a donor's snapshot and view. The ring
+    /// engine only fast-forwards its counters here; its membership (and the
+    /// repair round that refills undelivered payloads) is installed by the
+    /// view change that readmits this site.
     pub fn resume(&mut self, donor: &AbSnapshot, view: BTreeSet<SiteId>) {
         self.cb.resume_from(&donor.causal);
-        match (&mut self.ab, donor.seq, donor.isis) {
-            (Abcast::Seq(a), Some(w), _) => a.resume_from(w),
-            (Abcast::Isis(a), _, Some((l, d))) => a.resume_from(l, d),
+        match (&mut self.ab, donor.seq, donor.isis, &donor.ring) {
+            (Abcast::Seq(a), Some(w), _, _) => a.resume_from(w),
+            (Abcast::Isis(a), _, Some((l, d)), _) => a.resume_from(l, d),
+            (Abcast::Ring(a), _, _, Some((w, floors))) => a.resume_from(*w, floors),
             _ => {}
         }
         self.latest_writer = donor.latest_writer.clone();
@@ -214,19 +226,54 @@ impl AtomicProto {
         self.pump(st, fx, now, work);
     }
 
-    /// Installs a new view: the sequencer moves to the view coordinator and
-    /// transactions from departed origins abort (their commit request may
-    /// never be ordered).
+    /// Handles incoming ring-abcast wire traffic.
+    pub fn on_ring_wire(
+        &mut self,
+        st: &mut SiteState,
+        fx: &mut Effects,
+        now: SimTime,
+        from: SiteId,
+        wire: RingWire<Arc<Payload>>,
+    ) {
+        let Abcast::Ring(ab) = &mut self.ab else {
+            return;
+        };
+        let out = ab.on_wire(from, wire);
+        let mut work = std::mem::take(&mut self.idle_work);
+        Self::route_ring_out(fx, out, &mut work);
+        self.pump(st, fx, now, work);
+    }
+
+    /// The ring engine's pipeline gauges, when this protocol runs the ring
+    /// backend: `(inflight, forwarded)`.
+    pub fn ring_gauges(&self) -> Option<(u64, u64)> {
+        match &self.ab {
+            Abcast::Ring(a) => Some((a.inflight(), a.forwarded_count())),
+            _ => None,
+        }
+    }
+
+    /// Installs a new view: the sequencer moves to the view coordinator
+    /// (the ring recomputes successors and starts its repair round, keyed
+    /// by the view id), and transactions from departed origins abort
+    /// (their commit request may never be ordered).
     pub fn set_view(
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
+        view_id: u64,
         members: BTreeSet<SiteId>,
     ) {
         self.view = members.clone();
         if let (Abcast::Seq(ab), Some(&coord)) = (&mut self.ab, members.iter().next()) {
             ab.set_sequencer(coord);
+        }
+        let mut ring_work = std::mem::take(&mut self.idle_work);
+        if let Abcast::Ring(ab) = &mut self.ab {
+            let roster: Vec<SiteId> = members.iter().copied().collect();
+            let out = ab.set_ring(&roster, view_id);
+            Self::route_ring_out(fx, out, &mut ring_work);
         }
         let undecided: Vec<TxnId> = st
             .remote
@@ -234,7 +281,7 @@ impl AtomicProto {
             .filter(|t| !st.decided.contains_key(t) && !members.contains(&t.origin))
             .copied()
             .collect();
-        let mut work = std::mem::take(&mut self.idle_work);
+        let mut work = ring_work;
         for txn in undecided {
             self.cert_queue.retain(|p| p.txn != txn);
             let mut events = EventBuf::new();
@@ -285,6 +332,19 @@ impl AtomicProto {
         }
     }
 
+    fn route_ring_out(
+        fx: &mut Effects,
+        out: bcastdb_broadcast::atomic::Output<Arc<Payload>, RingWire<Arc<Payload>>>,
+        work: &mut VecDeque<Work>,
+    ) {
+        for ob in out.outbound {
+            fx.send(ob.dest, ReplicaMsg::ARing(ob.wire));
+        }
+        for d in out.deliveries {
+            work.push_back(Work::TotalDeliver(d));
+        }
+    }
+
     fn abcast(&mut self, fx: &mut Effects, payload: Payload, work: &mut VecDeque<Work>) {
         // The single payload allocation of this broadcast.
         let payload = Arc::new(payload);
@@ -296,6 +356,10 @@ impl AtomicProto {
             Abcast::Isis(ab) => {
                 let (_, out) = ab.broadcast(payload);
                 Self::route_isis_out(fx, out, work);
+            }
+            Abcast::Ring(ab) => {
+                let (_, out) = ab.broadcast(payload);
+                Self::route_ring_out(fx, out, work);
             }
         }
     }
@@ -647,6 +711,9 @@ mod tests {
                     ReplicaMsg::AIsis(w) => {
                         self.protos[to.0].on_isis_wire(&mut self.states[to.0], &mut fx, t, from, w)
                     }
+                    ReplicaMsg::ARing(w) => {
+                        self.protos[to.0].on_ring_wire(&mut self.states[to.0], &mut fx, t, from, w)
+                    }
                     _ => {}
                 }
                 self.absorb(to, fx);
@@ -656,7 +723,7 @@ mod tests {
 
     #[test]
     fn commits_with_no_acknowledgement_traffic() {
-        for imp in [AbcastImpl::Sequencer, AbcastImpl::Isis] {
+        for imp in [AbcastImpl::Sequencer, AbcastImpl::Isis, AbcastImpl::Ring] {
             let mut rig = Rig::new(3, imp);
             let id = rig.submit(1, 1, TxnSpec::new().write("x", 4));
             rig.settle();

@@ -83,6 +83,12 @@ pub struct NetworkConfig {
     /// that long (serialization delay on top of propagation latency).
     /// `None` models infinitely fast links.
     pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Optional per-*sender* NIC bandwidth in bytes per second: all links
+    /// leaving one site share a single transmitter, so fan-out serializes
+    /// at the sender instead of proceeding in parallel on independent
+    /// links. This is what makes an `N-1`-copy broadcast leader-bound.
+    /// `None` (the default everywhere) keeps the per-link-only model.
+    pub nic_bytes_per_sec: Option<u64>,
 }
 
 impl NetworkConfig {
@@ -97,6 +103,7 @@ impl NetworkConfig {
             loss_probability: 0.0,
             send_overhead: SimDuration::from_micros(50),
             bandwidth_bytes_per_sec: None,
+            nic_bytes_per_sec: None,
         }
     }
 
@@ -110,6 +117,7 @@ impl NetworkConfig {
             loss_probability: 0.0,
             send_overhead: SimDuration::from_micros(50),
             bandwidth_bytes_per_sec: None,
+            nic_bytes_per_sec: None,
         }
     }
 
@@ -121,6 +129,7 @@ impl NetworkConfig {
             loss_probability: 0.0,
             send_overhead: SimDuration::ZERO,
             bandwidth_bytes_per_sec: None,
+            nic_bytes_per_sec: None,
         }
     }
 
@@ -133,6 +142,13 @@ impl NetworkConfig {
     /// Returns a copy with a finite per-link bandwidth.
     pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
         self.bandwidth_bytes_per_sec = Some(bytes_per_sec.max(1));
+        self
+    }
+
+    /// Returns a copy with a finite per-sender NIC bandwidth, serializing
+    /// all of a site's outgoing traffic through one shared transmitter.
+    pub fn with_nic_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.nic_bytes_per_sec = Some(bytes_per_sec.max(1));
         self
     }
 }
@@ -160,6 +176,10 @@ pub struct Network {
     /// direction of a link. Kept as a set — partitions are rare and
     /// short-lived — and guarded by an `is_empty` check on the hot path.
     severed: HashSet<(SiteId, SiteId)>,
+    /// Per-sender shared-transmitter state, indexed by site and used only
+    /// under a finite [`NetworkConfig::nic_bytes_per_sec`]: when the site's
+    /// NIC finishes its previous transmission.
+    nic_free: Vec<SimTime>,
     messages_sent: u64,
     messages_dropped: u64,
     bytes_sent: u64,
@@ -199,6 +219,7 @@ impl Network {
             crashed: Vec::new(),
             crashed_count: 0,
             severed: HashSet::new(),
+            nic_free: Vec::new(),
             messages_sent: 0,
             messages_dropped: 0,
             bytes_sent: 0,
@@ -252,18 +273,32 @@ impl Network {
         // Finite bandwidth: the message occupies the link for its
         // transmission time, pushing later traffic back (modelled through
         // the FIFO horizon below).
-        let transmission = match self.config.bandwidth_bytes_per_sec {
+        let mut transmission = match self.config.bandwidth_bytes_per_sec {
             Some(bw) => SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / bw),
             None => SimDuration::ZERO,
         };
         if from.0 >= self.link_stride || to.0 >= self.link_stride {
             self.grow_links(from.0.max(to.0) + 1);
         }
-        let link = &mut self.links[from.0 * self.link_stride + to.0];
+        let index = from.0 * self.link_stride + to.0;
         // Transmission starts once the message is submitted AND the previous
         // message has left the transmitter: back-to-back messages serialize
         // exactly, an idle link starts immediately (zero queueing delay).
-        let start = now.max(link.tx_free);
+        let mut start = now.max(self.links[index].tx_free);
+        if let Some(nic_bw) = self.config.nic_bytes_per_sec {
+            // The sender's NIC is shared by all its links: transmission also
+            // waits for it and occupies it, so fan-out serializes at the
+            // sender. The effective rate is the slower of link and NIC.
+            if from.0 >= self.nic_free.len() {
+                self.nic_free.resize(from.0 + 1, SimTime::ZERO);
+            }
+            let tx_nic =
+                SimDuration::from_micros((size_hint as u64).saturating_mul(1_000_000) / nic_bw);
+            start = start.max(self.nic_free[from.0]);
+            transmission = transmission.max(tx_nic);
+            self.nic_free[from.0] = start + transmission;
+        }
+        let link = &mut self.links[index];
         link.tx_free = start + transmission;
         // Propagation after transmission; clamp to the previous arrival so
         // jittered latency cannot reorder the link (FIFO). Equal-time
@@ -407,6 +442,7 @@ mod tests {
             loss_probability: 0.0,
             send_overhead: SimDuration::ZERO,
             bandwidth_bytes_per_sec: None,
+            nic_bytes_per_sec: None,
         };
         let mut net = Network::new(cfg);
         let mut r = rng();
@@ -621,6 +657,55 @@ mod tests {
             )
             .collect();
         assert_eq!(arrivals, vec![2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn nic_bandwidth_serializes_fan_out_across_destinations() {
+        // 1_000 bytes at 1 MB/s = 1ms per transmission. Without a NIC
+        // limit, fan-out to distinct destinations proceeds in parallel on
+        // independent links; with one, the sender's shared transmitter
+        // serializes the copies.
+        let cfg =
+            NetworkConfig::deterministic(SimDuration::from_millis(1)).with_nic_bandwidth(1_000_000);
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let arrivals: Vec<u64> = (1..4)
+            .map(
+                |dst| match net.transit(SimTime::ZERO, SiteId(0), SiteId(dst), 1_000, &mut r) {
+                    Transit::DeliverAt(t) => t.as_micros(),
+                    _ => panic!(),
+                },
+            )
+            .collect();
+        assert_eq!(arrivals, vec![2_000, 3_000, 4_000]);
+        // A different sender's NIC is independent.
+        match net.transit(SimTime::ZERO, SiteId(1), SiteId(2), 1_000, &mut r) {
+            Transit::DeliverAt(t) => assert_eq!(t.as_micros(), 2_000),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nic_and_link_bandwidth_compose_at_the_slower_rate() {
+        // Link at 500 kB/s (2ms per 1_000 bytes) is slower than the NIC at
+        // 1 MB/s (1ms): the transmission runs at the bottleneck rate and
+        // occupies both clocks for its duration.
+        let cfg = NetworkConfig::deterministic(SimDuration::from_millis(1))
+            .with_bandwidth(500_000)
+            .with_nic_bandwidth(1_000_000);
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let t1 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(1), 1_000, &mut r) {
+            Transit::DeliverAt(t) => t.as_micros(),
+            _ => panic!(),
+        };
+        assert_eq!(t1, 3_000);
+        // Second copy to another site still waits out the NIC occupancy.
+        let t2 = match net.transit(SimTime::ZERO, SiteId(0), SiteId(2), 1_000, &mut r) {
+            Transit::DeliverAt(t) => t.as_micros(),
+            _ => panic!(),
+        };
+        assert_eq!(t2, 5_000);
     }
 
     use proptest::prelude::*;

@@ -172,6 +172,85 @@ fn isis_abcast_variant_works_end_to_end() {
 }
 
 #[test]
+fn ring_abcast_variant_works_end_to_end() {
+    use bcastdb::protocols::AbcastImpl;
+    let mut cluster = Cluster::builder()
+        .sites(5)
+        .protocol(ProtocolKind::AtomicBcast)
+        .abcast(AbcastImpl::Ring)
+        .seed(23)
+        .build();
+    let cfg = WorkloadConfig {
+        n_keys: 30,
+        theta: 0.7,
+        reads_per_txn: 1,
+        writes_per_txn: 2,
+        ..WorkloadConfig::default()
+    };
+    let run = WorkloadRun::new(cfg, 230);
+    let report = run.open_loop(&mut cluster, 10, SimDuration::from_millis(3));
+    assert!(report.quiesced && report.converged);
+    cluster.check_serializability().expect("serializable");
+}
+
+#[test]
+fn atomic_backends_yield_identical_state_on_conflict_free_workload() {
+    // Same shape as the cross-protocol conflict-free test, but across the
+    // three atomic-broadcast backends: disjoint keys per site means the
+    // final database is determined per key by its sole writer, so all
+    // backends must converge to the same state.
+    use bcastdb::protocols::AbcastImpl;
+    type FinalDb = Vec<(String, Option<i64>)>;
+    let mut finals: Vec<(AbcastImpl, FinalDb)> = Vec::new();
+    for imp in [AbcastImpl::Sequencer, AbcastImpl::Isis, AbcastImpl::Ring] {
+        let mut cluster = Cluster::builder()
+            .sites(4)
+            .protocol(ProtocolKind::AtomicBcast)
+            .abcast(imp)
+            .seed(42)
+            .build();
+        for site in 0..4usize {
+            for i in 0..6u64 {
+                let key = format!("s{site}k{i}");
+                let at = SimTime::from_micros(i * 3_000);
+                cluster.submit_at(
+                    at,
+                    SiteId(site),
+                    TxnSpec::new().write(key.as_str(), (site as i64) * 100 + i as i64),
+                );
+            }
+        }
+        cluster.run_to_quiescence();
+        let m = cluster.metrics();
+        assert_eq!(
+            m.commits(),
+            24,
+            "{imp:?}: conflict-free txns must all commit"
+        );
+        assert_eq!(m.aborts(), 0, "{imp:?}");
+        cluster.check_serializability().expect("serializable");
+        let mut snapshot = Vec::new();
+        for site in 0..4usize {
+            for i in 0..6u64 {
+                let key = format!("s{site}k{i}");
+                snapshot.push((
+                    key.clone(),
+                    cluster.committed_value(SiteId(0), key.as_str()),
+                ));
+            }
+        }
+        finals.push((imp, snapshot));
+    }
+    for w in finals.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "{:?} and {:?} disagree on the final database",
+            w[0].0, w[1].0
+        );
+    }
+}
+
+#[test]
 fn wait_die_policy_works_on_reliable() {
     use bcastdb::protocols::ConflictPolicy;
     let cfg = WorkloadConfig {
