@@ -1,7 +1,8 @@
 //! **run_all — drive every experiment and write the perf ledger.**
 //!
-//! Replaces the shell for-loop in EXPERIMENTS.md: runs all twelve
-//! experiment binaries in their canonical order, mirrors each table to
+//! Replaces the shell for-loop in EXPERIMENTS.md: runs the twelve
+//! experiment binaries plus the chaos campaign in canonical order,
+//! mirrors each table to
 //! `$BCASTDB_RESULTS_DIR` (default `results/`), concatenates their stdout
 //! into `experiments_output.txt`, and writes the wall-clock perf ledger
 //! `BENCH_wallclock.json` at the repository root.
@@ -23,8 +24,11 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
-/// The experiment binaries, in the canonical EXPERIMENTS.md order.
-const EXPERIMENTS: [&str; 12] = [
+/// The experiment binaries, in the canonical EXPERIMENTS.md order. The
+/// chaos campaign runs last: it is a robustness gate, not a paper
+/// table, and appending it keeps the twelve experiments' slice of
+/// `experiments_output.txt` byte-identical to previous revisions.
+const EXPERIMENTS: [&str; 13] = [
     "t1_messages",
     "t2_failures",
     "t3_latency_breakdown",
@@ -37,6 +41,7 @@ const EXPERIMENTS: [&str; 12] = [
     "a1_abcast_impl",
     "a2_conflict_policy",
     "a3_loss_tolerance",
+    "chaos",
 ];
 
 fn main() {

@@ -7,7 +7,7 @@
 //! bcast-trace summary   <trace.jsonl>             per-segment latency breakdown
 //! bcast-trace timeline  <origin:num> <trace.jsonl> one transaction across sites
 //! bcast-trace slowest   [-n K] <trace.jsonl>      critical path of the K slowest commits
-//! bcast-trace check     <trace.jsonl>             offline trace invariant run
+//! bcast-trace check     [--lossy] <trace.jsonl>   offline trace invariant run
 //! bcast-trace export    <trace.jsonl> <out.json> [--metrics <samples.jsonl>]
 //!                                                 Chrome Trace Event / Perfetto export
 //! bcast-trace perf-diff <baseline.json> <current.json> [--max-regress F]
@@ -28,7 +28,7 @@ use bcastdb_bench::perfdiff::{diff_ledgers, DiffConfig, WallclockLedger};
 use bcastdb_bench::perfetto::export_chrome_trace;
 use bcastdb_sim::stats::Sample;
 use bcastdb_sim::telemetry::{
-    check_trace, render_summary, render_timeline, slowest, summarize, SpanBuilder, TraceEvent,
+    render_summary, render_timeline, slowest, summarize, SpanBuilder, TraceEvent, TraceInvariants,
     TxnRef,
 };
 use bcastdb_sim::SiteId;
@@ -39,7 +39,7 @@ const USAGE: &str = "usage:
   bcast-trace summary   <trace.jsonl>
   bcast-trace timeline  <origin:num> <trace.jsonl>
   bcast-trace slowest   [-n K] <trace.jsonl>
-  bcast-trace check     <trace.jsonl>
+  bcast-trace check     [--lossy] <trace.jsonl>
   bcast-trace export    <trace.jsonl> <out.json> [--metrics <samples.jsonl>]
   bcast-trace perf-diff <baseline.json> <current.json> [--max-regress F] [--max-alloc-regress F]
   bcast-trace --help";
@@ -58,9 +58,13 @@ subcommands:
       The K slowest commits (default 5) with their dominant segment and
       full breakdown.
 
-  check     <trace.jsonl>
+  check     [--lossy] <trace.jsonl>
       Replays the offline trace invariant checker and reports spans whose
-      milestones needed clamping. Exits 1 on any violation.
+      milestones needed clamping. Exits 1 on any violation. With --lossy,
+      submitted transactions still in flight at the end of the trace are
+      tolerated (for runs cut short by a fault schedule or packet loss);
+      every other invariant — exactly-once termination, no unsent
+      deliveries, total-order agreement — still applies.
 
   export    <trace.jsonl> <out.json> [--metrics <samples.jsonl>]
       Converts the trace (plus optional metrics samples from a run with
@@ -181,11 +185,29 @@ fn run(args: &[String]) -> Result<(), Failure> {
             Ok(())
         }
         "check" => {
-            let path = one_operand(&args[1..])?;
+            let (lossy, path) = parse_check(&args[1..])?;
             let (events, meta) = load(path)?;
             warn_on_evictions(path, &meta);
-            check_trace(&events).map_err(|v| Failure::Check(format!("invariant violated: {v}")))?;
-            println!("{}: {} events, invariants hold", path, events.len());
+            let mut inv = TraceInvariants::new();
+            for ev in &events {
+                inv.ingest(ev);
+            }
+            let verdict = if lossy {
+                inv.check_allowing_pending()
+            } else {
+                inv.check()
+            };
+            verdict.map_err(|v| Failure::Check(format!("invariant violated: {v}")))?;
+            println!(
+                "{}: {} events, invariants hold{}",
+                path,
+                events.len(),
+                if lossy {
+                    " (lossy: pending transactions tolerated)"
+                } else {
+                    ""
+                }
+            );
             // Non-monotonic milestone report: the span decomposition
             // clamps out-of-order milestones to keep its telescoping sum
             // exact; surface which spans needed that rather than hiding
@@ -262,6 +284,14 @@ fn one_operand(args: &[String]) -> Result<&String, Failure> {
 fn two_operands(args: &[String]) -> Result<[&String; 2], Failure> {
     match args {
         [a, b] => Ok([a, b]),
+        _ => Err(Failure::input(USAGE)),
+    }
+}
+
+fn parse_check(args: &[String]) -> Result<(bool, &String), Failure> {
+    match args {
+        [path] => Ok((false, path)),
+        [flag, path] if flag == "--lossy" => Ok((true, path)),
         _ => Err(Failure::input(USAGE)),
     }
 }

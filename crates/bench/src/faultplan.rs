@@ -1,0 +1,544 @@
+//! Seeded random fault plans for the chaos campaign: generation,
+//! compact text serialization (for `--replay`), and shrinking.
+//!
+//! A chaos run is fully determined by `(seed, cell)`: the seed drives a
+//! [`DetRng`] that picks the clause mix, and the cell restricts which
+//! clause kinds are *fair* for the protocol under test (a protocol with
+//! no retransmission path must not face packet loss, and the p2p
+//! protocol's correctness argument assumes FIFO links, so it never sees
+//! reorder). When a run fails validation, [`shrink_plan`] bisects the
+//! plan — dropping clauses, then halving windows — down to a minimal
+//! failing plan whose text form is a one-line repro.
+//!
+//! ## Plan grammar
+//!
+//! ```text
+//! plan   := clause (';' clause)*
+//! clause := kind '@' from '>' to '@' start '..' end
+//! kind   := 'drop(' p ')' | 'dup(' p ',' extra_us ')'
+//!         | 'reorder(' p ',' max_extra_us ')' | 'burst'
+//!         | 'spike(' p ',' extra_us ')'
+//! from, to := site number | '*'          (wildcard: any site)
+//! start, end := microseconds since simulation start
+//! ```
+//!
+//! Example: `drop(0.25)@1>2@0..600000;dup(0.1,2500)@*>*@50000..150000`.
+//! Probabilities round-trip exactly — Rust's `f64` `Display` prints the
+//! shortest string that parses back to the same bits.
+
+use bcastdb_core::{AbcastImpl, ProtocolKind};
+use bcastdb_sim::{DetRng, FaultClause, FaultKind, FaultPlan, SimDuration, SimTime, SiteId};
+
+/// One protocol configuration of the chaos matrix, with its fault
+/// envelope (which clause kinds a generated plan may contain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosCell {
+    /// §2 point-to-point 2PC. Its correctness argument assumes reliable
+    /// FIFO links and it has no retransmission, so the envelope is
+    /// duplicate + delay-spike only.
+    P2p,
+    /// §3 reliable broadcast with the relay retransmission path on:
+    /// survives everything, including loss and gray links.
+    Reliable,
+    /// §4 causal broadcast with relay: same full envelope.
+    Causal,
+    /// §5 atomic broadcast, fixed-sequencer backend. No retransmission,
+    /// so no loss — but the total order must survive dup/reorder/spikes.
+    AtomicSeq,
+    /// §5 atomic broadcast, pipelined-ring backend: same envelope as the
+    /// sequencer, exercising the ring's dedup and contiguity watermark.
+    AtomicRing,
+}
+
+impl ChaosCell {
+    /// Every cell, in campaign order.
+    pub const ALL: [ChaosCell; 5] = [
+        ChaosCell::P2p,
+        ChaosCell::Reliable,
+        ChaosCell::Causal,
+        ChaosCell::AtomicSeq,
+        ChaosCell::AtomicRing,
+    ];
+
+    /// Short stable name used in tables and `--replay` strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosCell::P2p => "p2p",
+            ChaosCell::Reliable => "reliable",
+            ChaosCell::Causal => "causal",
+            ChaosCell::AtomicSeq => "atomic-seq",
+            ChaosCell::AtomicRing => "atomic-ring",
+        }
+    }
+
+    /// Parses a [`ChaosCell::name`] back into the cell.
+    pub fn parse(s: &str) -> Option<ChaosCell> {
+        ChaosCell::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// The protocol this cell runs.
+    pub fn protocol(self) -> ProtocolKind {
+        match self {
+            ChaosCell::P2p => ProtocolKind::PointToPoint,
+            ChaosCell::Reliable => ProtocolKind::ReliableBcast,
+            ChaosCell::Causal => ProtocolKind::CausalBcast,
+            ChaosCell::AtomicSeq | ChaosCell::AtomicRing => ProtocolKind::AtomicBcast,
+        }
+    }
+
+    /// The atomic-broadcast backend override, if this cell needs one.
+    pub fn abcast(self) -> Option<AbcastImpl> {
+        match self {
+            ChaosCell::AtomicSeq => Some(AbcastImpl::Sequencer),
+            ChaosCell::AtomicRing => Some(AbcastImpl::Ring),
+            _ => None,
+        }
+    }
+
+    /// Whether this cell runs with the relay retransmission path (and
+    /// the bounded-backoff solicitation cadence) enabled. Only these
+    /// cells can recover from dropped packets.
+    pub fn relay(self) -> bool {
+        matches!(self, ChaosCell::Reliable | ChaosCell::Causal)
+    }
+
+    /// The clause kinds a generated plan may contain for this cell.
+    ///
+    /// Loss (probabilistic drop and gray-link bursts) is only fair for
+    /// cells with a retransmission path; reorder is excluded for p2p,
+    /// whose 2PC message flow assumes per-link FIFO.
+    fn envelope(self) -> &'static [ClauseKind] {
+        use ClauseKind::*;
+        match self {
+            ChaosCell::P2p => &[Dup, Spike],
+            ChaosCell::Reliable | ChaosCell::Causal => &[Drop, Dup, Reorder, Burst, Spike],
+            ChaosCell::AtomicSeq | ChaosCell::AtomicRing => &[Dup, Reorder, Spike],
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameter-free tags of [`FaultKind`], for envelope tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseKind {
+    Drop,
+    Dup,
+    Reorder,
+    Burst,
+    Spike,
+}
+
+/// Generates the fault plan for `(seed, cell)`: 1–4 clauses drawn from
+/// the cell's envelope, each on a random (possibly wildcard) directed
+/// link, with a random window inside `horizon`.
+///
+/// All randomness comes from a [`DetRng`] forked per cell, so the same
+/// `(seed, cell, n_sites, horizon)` always yields the same plan, on any
+/// machine, independent of what other cells run.
+pub fn gen_plan(seed: u64, cell: ChaosCell, n_sites: usize, horizon: SimDuration) -> FaultPlan {
+    let mut rng = DetRng::new(seed ^ 0xc4a05).fork(cell as u64);
+    let horizon_us = horizon.as_micros();
+    let n_clauses = rng.gen_range(1..5u64) as usize;
+    let mut clauses = Vec::with_capacity(n_clauses);
+    for _ in 0..n_clauses {
+        let env = cell.envelope();
+        let kind_tag = env[rng.gen_range(0..env.len() as u64) as usize];
+        // Probabilities in steps of 0.01 keep the text form short; the
+        // exact f64 round-trips through Display either way.
+        let pct = |rng: &mut DetRng, lo: u64, hi: u64| rng.gen_range(lo..hi) as f64 / 100.0;
+        let kind = match kind_tag {
+            ClauseKind::Drop => FaultKind::Drop {
+                p: pct(&mut rng, 5, 35),
+            },
+            ClauseKind::Dup => FaultKind::Duplicate {
+                p: pct(&mut rng, 5, 40),
+                extra_delay: SimDuration::from_micros(rng.gen_range(100..5_000)),
+            },
+            ClauseKind::Reorder => FaultKind::Reorder {
+                p: pct(&mut rng, 5, 40),
+                max_extra: SimDuration::from_micros(rng.gen_range(100..5_000)),
+            },
+            ClauseKind::Burst => FaultKind::BurstLoss,
+            ClauseKind::Spike => FaultKind::DelaySpike {
+                p: pct(&mut rng, 2, 20),
+                extra: SimDuration::from_micros(rng.gen_range(1_000..20_000)),
+            },
+        };
+        // A gray link that blankets the whole run on a wildcard link
+        // would just stall everything; bound bursts to ~80 ms on one
+        // directed link. Other clauses may be wildcard and run-long.
+        let (from, to, start, end) = if kind_tag == ClauseKind::Burst {
+            let from = rng.gen_range(0..n_sites as u64) as usize;
+            let mut to = rng.gen_range(0..n_sites as u64 - 1) as usize;
+            if to >= from {
+                to += 1;
+            }
+            let len = rng.gen_range(10_000..80_000);
+            let start = rng.gen_range(0..horizon_us.saturating_sub(len));
+            (Some(SiteId(from)), Some(SiteId(to)), start, start + len)
+        } else {
+            let pick_site = |rng: &mut DetRng| {
+                if rng.gen_bool(0.5) {
+                    Some(SiteId(rng.gen_range(0..n_sites as u64) as usize))
+                } else {
+                    None
+                }
+            };
+            let from = pick_site(&mut rng);
+            let to = pick_site(&mut rng);
+            let start = rng.gen_range(0..horizon_us / 2);
+            let end = start + rng.gen_range(horizon_us / 10..horizon_us);
+            (from, to, start, end)
+        };
+        clauses.push(FaultClause {
+            from,
+            to,
+            start: SimTime::from_micros(start),
+            end: SimTime::from_micros(end),
+            kind,
+        });
+    }
+    FaultPlan { clauses }
+}
+
+/// Renders a plan in the replayable text grammar (see module docs).
+pub fn plan_to_string(plan: &FaultPlan) -> String {
+    plan.clauses
+        .iter()
+        .map(clause_to_string)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn clause_to_string(c: &FaultClause) -> String {
+    let kind = match &c.kind {
+        FaultKind::Drop { p } => format!("drop({p})"),
+        FaultKind::Duplicate { p, extra_delay } => {
+            format!("dup({p},{})", extra_delay.as_micros())
+        }
+        FaultKind::Reorder { p, max_extra } => {
+            format!("reorder({p},{})", max_extra.as_micros())
+        }
+        FaultKind::BurstLoss => "burst".to_string(),
+        FaultKind::DelaySpike { p, extra } => format!("spike({p},{})", extra.as_micros()),
+    };
+    let site = |s: Option<SiteId>| s.map_or("*".to_string(), |s| s.0.to_string());
+    format!(
+        "{kind}@{}>{}@{}..{}",
+        site(c.from),
+        site(c.to),
+        c.start.as_micros(),
+        c.end.as_micros()
+    )
+}
+
+/// Parses the text grammar back into a plan.
+///
+/// # Errors
+/// Returns a description of the first malformed clause.
+pub fn parse_plan(s: &str) -> Result<FaultPlan, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(FaultPlan::none());
+    }
+    let clauses = s
+        .split(';')
+        .map(parse_clause)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultPlan { clauses })
+}
+
+fn parse_clause(s: &str) -> Result<FaultClause, String> {
+    let bad = |why: &str| format!("bad clause {s:?}: {why}");
+    let mut parts = s.split('@');
+    let (kind_s, link_s, win_s) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(k), Some(l), Some(w), None) => (k, l, w),
+        _ => return Err(bad("expected kind@from>to@start..end")),
+    };
+    let kind = parse_kind(kind_s).map_err(|e| bad(&e))?;
+    let (from_s, to_s) = link_s
+        .split_once('>')
+        .ok_or_else(|| bad("expected from>to"))?;
+    let site = |t: &str| -> Result<Option<SiteId>, String> {
+        if t == "*" {
+            Ok(None)
+        } else {
+            t.parse::<usize>()
+                .map(|n| Some(SiteId(n)))
+                .map_err(|_| bad("site must be a number or '*'"))
+        }
+    };
+    let (start_s, end_s) = win_s
+        .split_once("..")
+        .ok_or_else(|| bad("expected start..end"))?;
+    let us = |t: &str| -> Result<u64, String> {
+        t.parse::<u64>().map_err(|_| bad("time must be integer µs"))
+    };
+    let (start, end) = (us(start_s)?, us(end_s)?);
+    if start >= end {
+        return Err(bad("empty window"));
+    }
+    Ok(FaultClause {
+        from: site(from_s)?,
+        to: site(to_s)?,
+        start: SimTime::from_micros(start),
+        end: SimTime::from_micros(end),
+        kind,
+    })
+}
+
+fn parse_kind(s: &str) -> Result<FaultKind, String> {
+    if s == "burst" {
+        return Ok(FaultKind::BurstLoss);
+    }
+    let (name, rest) = s
+        .split_once('(')
+        .ok_or_else(|| format!("unknown kind {s:?}"))?;
+    let args_s = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("unterminated args in {s:?}"))?;
+    let args: Vec<&str> = args_s.split(',').collect();
+    let p = |i: usize| -> Result<f64, String> {
+        args.get(i)
+            .and_then(|a| a.parse::<f64>().ok())
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| format!("bad probability in {s:?}"))
+    };
+    let us = |i: usize| -> Result<SimDuration, String> {
+        args.get(i)
+            .and_then(|a| a.parse::<u64>().ok())
+            .map(SimDuration::from_micros)
+            .ok_or_else(|| format!("bad duration in {s:?}"))
+    };
+    match (name, args.len()) {
+        ("drop", 1) => Ok(FaultKind::Drop { p: p(0)? }),
+        ("dup", 2) => Ok(FaultKind::Duplicate {
+            p: p(0)?,
+            extra_delay: us(1)?,
+        }),
+        ("reorder", 2) => Ok(FaultKind::Reorder {
+            p: p(0)?,
+            max_extra: us(1)?,
+        }),
+        ("spike", 2) => Ok(FaultKind::DelaySpike {
+            p: p(0)?,
+            extra: us(1)?,
+        }),
+        _ => Err(format!("unknown kind or arity: {s:?}")),
+    }
+}
+
+/// Shrinks a failing plan to a (locally) minimal failing plan.
+///
+/// `still_fails` re-runs the cell under a candidate plan and reports
+/// whether the violation persists. Two greedy passes, both to fixpoint:
+/// first remove whole clauses, then halve each surviving clause's window
+/// (front half, back half) while the failure reproduces. The total
+/// number of re-runs is capped at `budget`; the best plan found so far
+/// is returned when the budget runs out.
+pub fn shrink_plan(
+    plan: &FaultPlan,
+    budget: usize,
+    mut still_fails: impl FnMut(&FaultPlan) -> bool,
+) -> (FaultPlan, usize) {
+    let mut best = plan.clone();
+    let mut runs = 0usize;
+    let mut try_candidate = |cand: &FaultPlan, runs: &mut usize| -> bool {
+        if *runs >= budget {
+            return false;
+        }
+        *runs += 1;
+        still_fails(cand)
+    };
+
+    // Pass 1: drop clauses one at a time until no single removal still
+    // fails. Iterating to fixpoint handles clauses whose removal only
+    // helps after another clause is gone.
+    let mut changed = true;
+    while changed && runs < budget {
+        changed = false;
+        let mut i = 0;
+        while i < best.clauses.len() && best.clauses.len() > 1 {
+            let mut cand = best.clone();
+            cand.clauses.remove(i);
+            if try_candidate(&cand, &mut runs) {
+                best = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Pass 2: halve windows. For each clause, repeatedly try keeping
+    // only the first or second half of its active window.
+    let mut changed = true;
+    while changed && runs < budget {
+        changed = false;
+        for i in 0..best.clauses.len() {
+            loop {
+                let (start, end) = (
+                    best.clauses[i].start.as_micros(),
+                    best.clauses[i].end.as_micros(),
+                );
+                if end - start < 2_000 {
+                    break; // window already ≤ 2 ms: stop splitting
+                }
+                let mid = start + (end - start) / 2;
+                let mut front = best.clone();
+                front.clauses[i].end = SimTime::from_micros(mid);
+                if try_candidate(&front, &mut runs) {
+                    best = front;
+                    changed = true;
+                    continue;
+                }
+                let mut back = best.clone();
+                back.clauses[i].start = SimTime::from_micros(mid);
+                if try_candidate(&back, &mut runs) {
+                    best = back;
+                    changed = true;
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    (best, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HORIZON: SimDuration = SimDuration::from_millis(600);
+
+    #[test]
+    fn generation_is_deterministic_per_cell() {
+        for cell in ChaosCell::ALL {
+            let a = gen_plan(42, cell, 4, HORIZON);
+            let b = gen_plan(42, cell, 4, HORIZON);
+            assert_eq!(a, b, "{cell}: same (seed, cell) must yield same plan");
+            assert!(!a.is_empty());
+        }
+        let p2p = gen_plan(42, ChaosCell::P2p, 4, HORIZON);
+        let rel = gen_plan(42, ChaosCell::Reliable, 4, HORIZON);
+        assert_ne!(p2p, rel, "cells draw from independent rng forks");
+    }
+
+    #[test]
+    fn generated_plans_respect_the_cell_envelope() {
+        for cell in ChaosCell::ALL {
+            for seed in 0..50 {
+                let plan = gen_plan(seed, cell, 4, HORIZON);
+                for c in &plan.clauses {
+                    let lossy = matches!(c.kind, FaultKind::Drop { .. } | FaultKind::BurstLoss);
+                    let reorder = matches!(c.kind, FaultKind::Reorder { .. });
+                    assert!(
+                        !lossy || cell.relay(),
+                        "{cell}/{seed}: loss clause without a retransmission path: {c:?}"
+                    );
+                    assert!(
+                        !(reorder && cell == ChaosCell::P2p),
+                        "{cell}/{seed}: p2p assumes FIFO links: {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_text_round_trips_exactly() {
+        for cell in ChaosCell::ALL {
+            for seed in 0..100 {
+                let plan = gen_plan(seed, cell, 4, HORIZON);
+                let text = plan_to_string(&plan);
+                let back = parse_plan(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+                assert_eq!(plan, back, "round-trip of {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_example() {
+        let plan = parse_plan("drop(0.25)@1>2@0..600000;dup(0.1,2500)@*>*@50000..150000").unwrap();
+        assert_eq!(plan.clauses.len(), 2);
+        assert_eq!(plan.clauses[0].from, Some(SiteId(1)));
+        assert_eq!(plan.clauses[0].to, Some(SiteId(2)));
+        assert_eq!(plan.clauses[1].from, None);
+        assert!(matches!(
+            plan.clauses[1].kind,
+            FaultKind::Duplicate { p, extra_delay } if p == 0.1
+                && extra_delay == SimDuration::from_micros(2_500)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "drop(0.25)",                // no link/window
+            "drop(1.5)@*>*@0..100",      // probability out of range
+            "warp(0.1)@*>*@0..100",      // unknown kind
+            "drop(0.1)@*>*@100..100",    // empty window
+            "dup(0.1)@*>*@0..100",       // wrong arity
+            "drop(0.1)@a>b@0..100",      // bad site
+            "drop(0.1)@*>*@0..100..200", // bad window
+        ] {
+            assert!(parse_plan(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        assert_eq!(parse_plan("").unwrap(), FaultPlan::none());
+        assert_eq!(plan_to_string(&FaultPlan::none()), "");
+    }
+
+    #[test]
+    fn shrink_finds_the_one_guilty_clause() {
+        // 6 clauses; the "failure" is triggered only by the spike clause
+        // on link 1→2 being active anywhere in 100..200 ms.
+        let plan = parse_plan(
+            "drop(0.1)@*>*@0..600000;dup(0.2,500)@0>1@0..300000;\
+             spike(0.1,5000)@1>2@0..600000;burst@2>3@50000..90000;\
+             reorder(0.3,1000)@*>3@10000..400000;drop(0.3)@3>0@0..200000",
+        )
+        .unwrap();
+        let guilty = |p: &FaultPlan| {
+            p.clauses.iter().any(|c| {
+                matches!(c.kind, FaultKind::DelaySpike { .. })
+                    && c.from == Some(SiteId(1))
+                    && c.start.as_micros() < 200_000
+                    && c.end.as_micros() > 100_000
+            })
+        };
+        assert!(guilty(&plan));
+        let (shrunk, runs) = shrink_plan(&plan, 200, |p| guilty(p));
+        assert_eq!(shrunk.clauses.len(), 1, "only the spike clause survives");
+        assert!(guilty(&shrunk), "the shrunk plan still fails");
+        assert!(runs <= 200);
+        let win = shrunk.clauses[0].end.as_micros() - shrunk.clauses[0].start.as_micros();
+        assert!(
+            win <= 200_000,
+            "window halving tightened 600 ms to ≤ the guilty range: {win}µs"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_the_run_budget() {
+        let plan =
+            parse_plan("drop(0.1)@*>*@0..600000;dup(0.2,500)@0>1@0..300000;burst@2>3@50000..90000")
+                .unwrap();
+        let mut calls = 0usize;
+        let (_, runs) = shrink_plan(&plan, 5, |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(runs, 5);
+        assert_eq!(calls, 5, "never exceeds the budget");
+    }
+}

@@ -53,6 +53,7 @@
 #[global_allocator]
 static ALLOC_PROBE: bcastdb_memprobe::CountingAllocator = bcastdb_memprobe::CountingAllocator;
 
+pub mod faultplan;
 pub mod harness;
 pub mod nemesis;
 pub mod perfdiff;

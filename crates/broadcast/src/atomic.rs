@@ -312,6 +312,11 @@ pub struct IsisAbcast<P> {
     lamport: u64,
     /// Messages not yet delivered, keyed by id.
     pending: BTreeMap<MsgId, IsisEntry<P>>,
+    /// Every id this site has ever accepted (pending *or* delivered).
+    /// Duplicate suppression must outlive delivery: a late network
+    /// duplicate of a delivered `Data` would otherwise re-insert a
+    /// pending entry that can never finalize, wedging the holdback.
+    seen: HashSet<MsgId>,
     /// Proposals collected by this site for its own broadcasts.
     proposals: HashMap<MsgId, Vec<Priority>>,
     delivered: u64,
@@ -330,6 +335,7 @@ impl<P: Clone> IsisAbcast<P> {
             next_seq: 0,
             lamport: 0,
             pending: BTreeMap::new(),
+            seen: HashSet::new(),
             proposals: HashMap::new(),
             delivered: 0,
         }
@@ -390,7 +396,21 @@ impl<P: Clone> IsisAbcast<P> {
     }
 
     fn collect_proposal(&mut self, id: MsgId, prio: Priority, out: &mut Output<P, IsisWire<P>>) {
+        // Only an origin still awaiting finalization collects: a stale
+        // or duplicated Propose after the Final went out (or after
+        // delivery) must not re-open the vote.
+        match self.pending.get(&id) {
+            Some(e) if !e.is_final => {}
+            _ => return,
+        }
         let props = self.proposals.entry(id).or_default();
+        // One vote per proposer (`prio.1` is the proposing site): a
+        // duplicated Propose must not reach the n-count early, or the
+        // final priority could miss a proposer and undercut an
+        // outstanding proposal — breaking the holdback's lower bound.
+        if props.iter().any(|p| p.1 == prio.1) {
+            return;
+        }
         props.push(prio);
         if props.len() == self.n {
             let final_prio = *props.iter().max().expect("non-empty");
@@ -419,6 +439,7 @@ impl<P: Clone> AtomicBcast<P> for IsisAbcast<P> {
             payload: payload.clone(),
         }));
         let own = self.propose();
+        self.seen.insert(id);
         self.pending.insert(
             id,
             IsisEntry {
@@ -435,8 +456,8 @@ impl<P: Clone> AtomicBcast<P> for IsisAbcast<P> {
         let mut out = Output::empty();
         match wire {
             IsisWire::Data { id, payload } => {
-                if self.pending.contains_key(&id) {
-                    return out; // duplicate
+                if !self.seen.insert(id) {
+                    return out; // duplicate (pending or already delivered)
                 }
                 let prio = self.propose();
                 self.pending.insert(

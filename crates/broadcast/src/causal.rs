@@ -458,4 +458,45 @@ mod tests {
             assert_eq!(seqs, vec![1, 2, 3]);
         }
     }
+
+    /// Companion to the fairness test for the backed-off solicitation
+    /// cadence: retransmission rounds arrive *rarely* under backoff, so
+    /// each round must advance every gapped origin — convergence takes
+    /// rounds proportional to the deepest gap, not the sum of all gaps.
+    #[test]
+    fn capped_retransmission_rounds_advance_every_origin_each_round() {
+        let mut es = engines(4);
+        // Site 3 archives four messages from each of origins 0..=2.
+        for round in 0..4 {
+            for origin in 0..3usize {
+                let (_, o) = es[origin].broadcast(format!("m{origin}-{round}"));
+                let w = o.outbound[0].wire.clone();
+                es[3].on_wire(SiteId(origin), w.clone());
+                for (other, e) in es.iter_mut().enumerate().take(3) {
+                    if other != origin {
+                        e.on_wire(SiteId(origin), w.clone());
+                    }
+                }
+            }
+        }
+        // A fully-lagging peer applies each capped round to its clock.
+        let mut peer = CausalBcast::<String>::new(SiteId(3), 4);
+        let mut rounds = 0;
+        loop {
+            let done = (0..3).all(|s| peer.clock().get(SiteId(s)) == 4);
+            if done {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds <= 12, "retransmission rounds must converge");
+            let batch = es[3].retransmissions_for(peer.clock(), 3);
+            // Cap 3 split over three gapped origins: one message each.
+            let mut origins: Vec<usize> = batch.iter().map(|w| w.id.origin.index()).collect();
+            origins.sort_unstable();
+            assert_eq!(origins, vec![0, 1, 2], "round {rounds} skipped an origin");
+            for w in batch {
+                peer.on_wire(w.id.origin, w);
+            }
+        }
+    }
 }

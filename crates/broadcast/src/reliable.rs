@@ -427,4 +427,40 @@ mod tests {
             assert_eq!(seqs, vec![1, 2, 3]);
         }
     }
+
+    /// Companion to the fairness test for the backed-off solicitation
+    /// cadence: sync rounds arrive *rarely* (each round is one solicited
+    /// answer), so every round must advance every gapped origin — a peer
+    /// behind on many origins converges in rounds proportional to the
+    /// deepest gap, not the sum of all gaps.
+    #[test]
+    fn capped_sync_rounds_advance_every_origin_each_round() {
+        let mut rb = ReliableBcast::new(SiteId(3), 4);
+        // Origins 0..=2 each archived four messages.
+        for origin in 0..3usize {
+            for seq in 1..=4u64 {
+                rb.on_wire(
+                    SiteId(origin),
+                    wire(origin, seq, &format!("m{origin}-{seq}")),
+                );
+            }
+        }
+        // A fully-lagging peer applies each capped round to its
+        // watermarks, as the backoff-spaced sync exchange does.
+        let mut peer = ReliableBcast::<String>::new(SiteId(0), 4);
+        let mut rounds = 0;
+        while peer.watermarks()[..3] != [4, 4, 4] {
+            rounds += 1;
+            assert!(rounds <= 4, "convergence must take ≤ max-gap rounds");
+            let mut batch = rb.retransmissions_for(&peer.watermarks(), 3);
+            // Cap 3 split over three origins: exactly one each.
+            let mut origins: Vec<usize> = batch.iter().map(|w| w.id.origin.index()).collect();
+            origins.sort_unstable();
+            assert_eq!(origins, vec![0, 1, 2], "round {rounds} skipped an origin");
+            for w in batch.drain(..) {
+                peer.on_wire(w.id.origin, w);
+            }
+        }
+        assert_eq!(rounds, 4);
+    }
 }

@@ -527,7 +527,20 @@ impl<P: Clone> RingAbcast<P> {
         if origin == self.me || id.seq <= self.stable_floor(origin) || self.store.contains_key(&id)
         {
             // Echo or duplicate: already held (or stable everywhere).
-            // Never re-forwarded, which bounds circulation.
+            // Never re-forwarded, which bounds circulation. A duplicate
+            // reaching the ring tail does refresh the cumulative ack,
+            // though — if the original Ack was lost, the origin's pipeline
+            // window would otherwise stay clogged forever.
+            if origin != self.me && self.successor() == origin {
+                if let Some(contig) = self.received.get(&origin) {
+                    out.outbound.push(Outbound::to(
+                        origin,
+                        RingWire::Ack {
+                            upto: contig.watermark,
+                        },
+                    ));
+                }
+            }
             return;
         }
         self.store.insert(
@@ -796,6 +809,32 @@ mod tests {
             self.settle_n(usize::MAX);
         }
 
+        /// Settles the queue delivering every message twice, modelling a
+        /// network that duplicates every hop.
+        fn settle_duplicating(&mut self) {
+            while let Some((from, to, wire)) = self.queue.pop_front() {
+                if self.crashed[from.0] || self.crashed[to.0] {
+                    continue;
+                }
+                let out = self.engines[to.0].on_wire(from, wire.clone());
+                self.absorb(to.0, out);
+                let out = self.engines[to.0].on_wire(from, wire);
+                self.absorb(to.0, out);
+            }
+        }
+
+        /// Settles the queue in LIFO order, violating per-link FIFO as
+        /// aggressively as a single queue can.
+        fn settle_lifo(&mut self) {
+            while let Some((from, to, wire)) = self.queue.pop_back() {
+                if self.crashed[from.0] || self.crashed[to.0] {
+                    continue;
+                }
+                let out = self.engines[to.0].on_wire(from, wire);
+                self.absorb(to.0, out);
+            }
+        }
+
         fn crash(&mut self, site: usize) {
             self.crashed[site] = true;
         }
@@ -860,6 +899,65 @@ mod tests {
         fleet.broadcast(0, 7);
         fleet.settle();
         assert_eq!(fleet.sends, 7);
+    }
+
+    #[test]
+    fn duplicated_hops_deliver_exactly_once() {
+        let mut fleet = Fleet::new(4);
+        fleet.broadcast(1, 11);
+        fleet.broadcast(3, 33);
+        fleet.settle_duplicating();
+        let expected: Vec<u64> = fleet.logs[0].iter().map(|d| d.payload).collect();
+        let mut sorted = expected.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![11, 33], "each payload delivered exactly once");
+        fleet.assert_agreement(&expected);
+    }
+
+    #[test]
+    fn reordered_hops_still_reach_agreement() {
+        let mut fleet = Fleet::new(4);
+        fleet.broadcast(1, 1);
+        fleet.broadcast(2, 2);
+        fleet.broadcast(3, 3);
+        fleet.settle_lifo();
+        let expected: Vec<u64> = fleet.logs[0].iter().map(|d| d.payload).collect();
+        let mut sorted = expected.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3], "nothing lost or duplicated");
+        fleet.assert_agreement(&expected);
+    }
+
+    #[test]
+    fn duplicate_data_at_tail_refreshes_a_lost_ack() {
+        let mut fleet = Fleet::new(4);
+        let id = fleet.broadcast(1, 9);
+        // Deliver everything except the tail's cumulative Ack.
+        while let Some((from, to, wire)) = fleet.queue.pop_front() {
+            if matches!(wire, RingWire::Ack { .. }) {
+                continue; // lost on the wire
+            }
+            let out = fleet.engines[to.0].on_wire(from, wire);
+            fleet.absorb(to.0, out);
+        }
+        assert_eq!(fleet.engines[1].acked_seq, 0, "the only ack was dropped");
+        // A retransmitted payload reaching the ring tail (site 0, the
+        // origin's predecessor) must refresh the cumulative ack even though
+        // the payload itself is a duplicate.
+        let out = fleet.engines[0].on_wire(
+            SiteId(3),
+            RingWire::Data {
+                id,
+                payload: 9,
+                stable: 0,
+            },
+        );
+        fleet.absorb(0, out);
+        fleet.settle();
+        assert_eq!(
+            fleet.engines[1].acked_seq, 1,
+            "duplicate Data at the tail re-acks"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use bcastdb_sim::telemetry::{
     TraceViolation, Tracer, TxnRef, TxnSpan,
 };
 use bcastdb_sim::{
-    NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId, WheelStats,
+    FaultPlan, NetworkConfig, RunOutcome, SimDuration, SimTime, Simulation, SiteId, WheelStats,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -72,6 +72,11 @@ pub struct ClusterConfig {
     /// each broadcast, so the reliable/causal protocols tolerate message
     /// loss (pair with a lossy [`NetworkConfig`]).
     pub relay: bool,
+    /// Bounded exponential backoff (with deterministic per-site jitter) on
+    /// the loss-recovery solicitation cadence — reliable `RSync`
+    /// watermarks and causal gap-reporting nulls. Off by default: the
+    /// fixed once-per-tick cadence stays byte-identical to prior behavior.
+    pub retransmit_backoff: bool,
     /// Per-operation think time (zero = a transaction's reads are acquired
     /// and its writes broadcast in single instants; nonzero models clients
     /// that issue operations sequentially, as the paper assumes).
@@ -109,6 +114,12 @@ pub struct ClusterConfig {
     /// [`Cluster::finish_metrics_jsonl`] is called. Implies metrics with a
     /// default 1 ms interval if `metrics_interval` is unset.
     pub metrics_jsonl: Option<PathBuf>,
+    /// Packet-fault plan installed on the network before the run starts:
+    /// per-link, per-direction, time-windowed drop / duplicate / reorder /
+    /// burst-loss / delay-spike clauses (see [`bcastdb_sim::FaultPlan`]).
+    /// `None` (default) keeps the network — and the RNG stream — exactly
+    /// as before the fault model existed.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -127,6 +138,7 @@ impl Default for ClusterConfig {
             suspect_after: SimDuration::from_millis(100),
             fast_commit: false,
             relay: false,
+            retransmit_backoff: false,
             think_time: SimDuration::ZERO,
             placement: Placement::Full,
             trace_capacity: None,
@@ -136,6 +148,7 @@ impl Default for ClusterConfig {
             batch_max_bytes: 1_400,
             metrics_interval: None,
             metrics_jsonl: None,
+            fault_plan: None,
         }
     }
 }
@@ -239,6 +252,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable bounded exponential backoff (with deterministic jitter) on
+    /// the loss-recovery solicitation cadence. Off by default.
+    pub fn retransmit_backoff(mut self, on: bool) -> Self {
+        self.cfg.retransmit_backoff = on;
+        self
+    }
+
     /// Per-operation think time (paces both reads and write broadcasts).
     pub fn think_time(mut self, d: SimDuration) -> Self {
         self.cfg.think_time = d;
@@ -310,6 +330,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a packet-fault plan on the network (see
+    /// [`ClusterConfig::fault_plan`]). An empty plan is equivalent to none.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -376,6 +403,7 @@ impl Cluster {
             suspect_after: cfg.suspect_after,
             fast_commit: cfg.fast_commit,
             relay: cfg.relay,
+            retransmit_backoff: cfg.retransmit_backoff,
             think_time: cfg.think_time,
             placement: cfg.placement,
             batch_window: cfg.batch_window,
@@ -385,6 +413,9 @@ impl Cluster {
             .map(|i| ReplicaNode::new(SiteId(i), cfg.sites, node_cfg.clone()))
             .collect();
         let mut sim = Simulation::new(cfg.seed, cfg.net.clone(), nodes);
+        if let Some(plan) = &cfg.fault_plan {
+            sim.network_mut().install_fault_plan(plan.clone());
+        }
         if let Some(window) = cfg.commit_window {
             for i in 0..cfg.sites {
                 sim.node_mut(SiteId(i))
@@ -631,6 +662,11 @@ impl Cluster {
     /// Total point-to-point messages the network carried.
     pub fn messages_sent(&self) -> u64 {
         self.sim.network().messages_sent()
+    }
+
+    /// The simulated network (fault counters, drop attribution).
+    pub fn network(&self) -> &bcastdb_sim::Network {
+        self.sim.network()
     }
 
     /// Per-phase message totals, merged across all sites. Always sums to

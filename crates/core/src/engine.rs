@@ -44,6 +44,11 @@ pub struct NodeConfig {
     /// Eager broadcast relaying (loss tolerance for the reliable and
     /// causal protocols at `O(N²)` message cost).
     pub relay: bool,
+    /// Bounded exponential backoff (with deterministic jitter) on the
+    /// loss-recovery solicitation cadence — reliable `RSync` watermarks
+    /// and causal gap-reporting nulls. Off by default: the fixed
+    /// once-per-tick cadence stays byte-identical to prior behavior.
+    pub retransmit_backoff: bool,
     /// Per-operation think time (read acquisition and write broadcasts).
     pub think_time: SimDuration,
     /// Replica placement.
@@ -72,6 +77,7 @@ impl Default for NodeConfig {
             suspect_after: SimDuration::from_millis(100),
             fast_commit: false,
             relay: false,
+            retransmit_backoff: false,
             think_time: SimDuration::ZERO,
             placement: crate::placement::Placement::Full,
             batch_window: None,
@@ -140,6 +146,9 @@ impl ReplicaNode {
                     ReliableProto::new(me, n)
                 };
                 p.fast_commit = cfg.fast_commit;
+                if cfg.retransmit_backoff {
+                    p.enable_backoff();
+                }
                 Proto::Reliable(p)
             }
             ProtocolKind::CausalBcast => {
@@ -152,6 +161,9 @@ impl ReplicaNode {
                 };
                 p.null_messages = cfg.null_messages;
                 p.fast_commit = cfg.fast_commit;
+                if cfg.retransmit_backoff {
+                    p.enable_backoff();
+                }
                 Proto::Causal(p)
             }
             ProtocolKind::AtomicBcast => {
@@ -301,8 +313,8 @@ impl ReplicaNode {
                             self.send_wire_batch(batch, ctx);
                         }
                     }
-                    None => {
-                        if ctx.send(to, msg.clone()) == SendOutcome::Dropped {
+                    None => match ctx.send(to, msg.clone()) {
+                        SendOutcome::Dropped => {
                             self.st.tracer.emit(|| TraceEvent::Drop {
                                 at: now,
                                 from: me,
@@ -310,7 +322,20 @@ impl ReplicaNode {
                                 phase,
                             });
                         }
-                    }
+                        SendOutcome::Duplicated => {
+                            // A fault-plan duplicate means two wire copies
+                            // of one logical message: trace the second Send
+                            // so delivered <= sent still holds per link.
+                            // Metrics deliberately count one logical send.
+                            self.st.tracer.emit(|| TraceEvent::Send {
+                                at: now,
+                                from: me,
+                                to,
+                                phase,
+                            });
+                        }
+                        SendOutcome::Accepted => {}
+                    },
                 }
             }
         }
@@ -352,17 +377,33 @@ impl ReplicaNode {
         if self.st.tracer.is_enabled() {
             phases.extend(batch.msgs.iter().map(|m| m.phase()));
         }
-        if ctx.send_sized(to, ReplicaMsg::Batch(batch.msgs), bytes) == SendOutcome::Dropped {
-            // The whole envelope was lost: trace the loss of every logical
-            // message it carried, mirroring the unbatched path.
-            for phase in phases {
-                self.st.tracer.emit(|| TraceEvent::Drop {
-                    at: now,
-                    from: me,
-                    to,
-                    phase,
-                });
+        match ctx.send_sized(to, ReplicaMsg::Batch(batch.msgs), bytes) {
+            SendOutcome::Dropped => {
+                // The whole envelope was lost: trace the loss of every
+                // logical message it carried, mirroring the unbatched path.
+                for phase in phases {
+                    self.st.tracer.emit(|| TraceEvent::Drop {
+                        at: now,
+                        from: me,
+                        to,
+                        phase,
+                    });
+                }
             }
+            SendOutcome::Duplicated => {
+                // The whole envelope was duplicated: every logical message
+                // it carried will be delivered twice, so trace the second
+                // Send of each, mirroring the unbatched path.
+                for phase in phases {
+                    self.st.tracer.emit(|| TraceEvent::Send {
+                        at: now,
+                        from: me,
+                        to,
+                        phase,
+                    });
+                }
+            }
+            SendOutcome::Accepted => {}
         }
     }
 

@@ -35,7 +35,7 @@
 
 use crate::metrics::AbortReason;
 use crate::payload::{Payload, ReplicaMsg, TxnPriority};
-use crate::protocols::Effects;
+use crate::protocols::{Effects, RetransmitBackoff};
 use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_broadcast::causal::{self, CausalBcast};
 use bcastdb_broadcast::VectorClock;
@@ -122,6 +122,14 @@ pub struct CausalProto {
     /// classification on each delivered write. Pruned lazily as
     /// decisions land, like [`CausalProto::ack_waiting`].
     open_writers: BTreeSet<TxnId>,
+    /// Cadence control of the periodic null/gap-report broadcast (fires
+    /// every tick unless [`CausalProto::enable_backoff`] was called).
+    backoff: RetransmitBackoff,
+    /// `(sum of remote clock components, pending holes)` at the last tick —
+    /// the progress signal that resets the backoff. Our own component is
+    /// excluded: each null we send self-delivers, and counting that as
+    /// progress would keep the cadence pinned at every tick.
+    last_progress: (u64, usize),
 }
 
 impl CausalProto {
@@ -143,7 +151,15 @@ impl CausalProto {
             ack_waiting: BTreeSet::new(),
             max_cr_seq: VectorClock::new(n),
             open_writers: BTreeSet::new(),
+            backoff: RetransmitBackoff::new(me),
+            last_progress: (0, 0),
         }
+    }
+
+    /// Switches the periodic null/gap-report broadcast from fire-every-tick
+    /// to bounded exponential backoff with deterministic jitter.
+    pub fn enable_backoff(&mut self) {
+        self.backoff.enable();
     }
 
     /// Creates the protocol with eager relaying and loss recovery enabled.
@@ -292,6 +308,26 @@ impl CausalProto {
                 || self.has_unpublished_ack()
                 || (self.recover_losses && self.cb.pending_len() > 0))
         {
+            // Progress check for the backoff cadence: a remote clock
+            // component moving or a pending hole closing means the last
+            // solicitation (or regular traffic) worked — go back to
+            // every-tick.
+            let me = self.cb.me();
+            let remote: u64 = self
+                .cb
+                .clock()
+                .iter()
+                .filter(|&(s, _)| s != me)
+                .map(|(_, k)| k)
+                .sum();
+            let progress = (remote, self.cb.pending_len());
+            if progress != self.last_progress {
+                self.backoff.reset();
+                self.last_progress = progress;
+            }
+            if !self.backoff.due() {
+                return;
+            }
             let mut work = std::mem::take(&mut self.idle_work);
             self.bcast(fx, Payload::Null, &mut work);
             self.pump(st, fx, now, work);
@@ -976,6 +1012,59 @@ mod tests {
                 self.tick_all();
             }
         }
+    }
+
+    #[test]
+    fn null_cadence_backs_off_and_resets_on_remote_progress() {
+        use bcastdb_broadcast::msg::MsgId;
+
+        let mut p = CausalProto::new_with_relay(SiteId(0), 3);
+        p.enable_backoff();
+        let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WoundWait);
+        st.wound_remote = false;
+        st.rank_by_delivery = true;
+        // An undecided local transaction keeps ticks wanted forever (its
+        // peers never answer in this rig — a stalled cluster).
+        let mut fx = Effects::new();
+        let (_, events) = st.begin_txn(SimTime::ZERO, TxnSpec::new().write("x", 1));
+        p.handle_events(&mut st, &mut fx, SimTime::ZERO, events);
+        assert!(p.needs_ticks(&st));
+
+        let mut fired = 0;
+        for _ in 0..64 {
+            let mut fx = Effects::new();
+            p.on_tick(&mut st, &mut fx, SimTime::from_micros(50));
+            if !fx.sends.is_empty() {
+                fired += 1;
+            }
+        }
+        assert!(
+            (1..16).contains(&fired),
+            "64 stalled ticks must coalesce into a handful of nulls \
+             (own null self-deliveries are not progress), got {fired}"
+        );
+
+        // A remote delivery is progress: the next tick fires again.
+        let mut vc = VectorClock::new(3);
+        vc.set(SiteId(1), 1);
+        let mut fx = Effects::new();
+        p.on_wire(
+            &mut st,
+            &mut fx,
+            SimTime::from_micros(60),
+            SiteId(1),
+            causal::Wire {
+                id: MsgId {
+                    origin: SiteId(1),
+                    seq: 1,
+                },
+                vc,
+                payload: std::sync::Arc::new(Payload::Null),
+            },
+        );
+        let mut fx = Effects::new();
+        p.on_tick(&mut st, &mut fx, SimTime::from_micros(70));
+        assert!(!fx.sends.is_empty(), "post-progress tick emits again");
     }
 
     #[test]

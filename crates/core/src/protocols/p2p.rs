@@ -21,7 +21,7 @@ use crate::protocols::Effects;
 use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_db::{TxnId, WriteOp};
 use bcastdb_sim::{SimDuration, SimTime, SiteId};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 #[derive(Debug)]
 enum Work {
@@ -36,8 +36,10 @@ struct Driving {
     writes: Vec<WriteOp>,
     /// Index of the operation currently awaiting acknowledgements.
     current_op: usize,
-    /// Acks received for the current op (own grant included).
-    acks: usize,
+    /// Sites that acked the current op (own grant included). A set, not
+    /// a counter: a network-duplicated WriteAck must not double-count
+    /// one site and advance the op early.
+    acked: BTreeSet<SiteId>,
     /// When the write phase started (timeout baseline).
     started: SimTime,
     commit_sent: bool,
@@ -180,7 +182,7 @@ impl P2pProto {
                 prio,
                 writes,
                 current_op: 0,
-                acks: 0,
+                acked: BTreeSet::new(),
                 started: now,
                 commit_sent: false,
             },
@@ -276,13 +278,31 @@ impl P2pProto {
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
-        _from: SiteId,
+        from: SiteId,
         msg: P2pMsg,
         work: &mut VecDeque<Work>,
     ) {
         match msg {
             P2pMsg::Write { txn, op, index } => {
                 if st.decided.contains_key(&txn) {
+                    return;
+                }
+                // Ops are issued one at a time over FIFO links, so a fresh
+                // op always has `index == ops.len()`. Anything below that
+                // is a network duplicate: delivering it again would corrupt
+                // the `ops.len() == n_writes` prepare accounting (and a dup
+                // landing after the commit request would reset `n_writes`
+                // to the sentinel, wedging the vote). Just re-ack if the
+                // lock is held — the origin's ack set dedups.
+                if st.remote.get(&txn).is_some_and(|e| index < e.ops.len()) {
+                    let granted = st
+                        .remote
+                        .get(&txn)
+                        .is_some_and(|e| e.keys_granted.contains(&op.key))
+                        || !st.placement.is_holder(st.me, &op.key, st.n);
+                    if granted {
+                        self.emit_ack(st, fx, txn, index, work);
+                    }
                     return;
                 }
                 let prio = self
@@ -315,7 +335,7 @@ impl P2pProto {
                 }
             }
             P2pMsg::WriteAck { txn, index } => {
-                self.record_ack(st, fx, now, txn, index, work);
+                self.record_ack(st, fx, now, from, txn, index, work);
             }
             P2pMsg::CommitReq { txn, writes } => {
                 if st.decided.contains_key(&txn) {
@@ -409,11 +429,13 @@ impl P2pProto {
 
     /// Origin side: counts acknowledgements for the current op; when all
     /// sites acked, moves to the next op (or the commit phase).
+    #[allow(clippy::too_many_arguments)]
     fn record_ack(
         &mut self,
         st: &mut SiteState,
         fx: &mut Effects,
         now: SimTime,
+        from: SiteId,
         txn: TxnId,
         index: usize,
         work: &mut VecDeque<Work>,
@@ -425,10 +447,10 @@ impl P2pProto {
         if index != d.current_op {
             return; // stale ack for an op already completed
         }
-        d.acks += 1;
-        if d.acks >= n {
+        d.acked.insert(from);
+        if d.acked.len() >= n {
             d.current_op += 1;
-            d.acks = 0;
+            d.acked.clear();
             self.issue_current_op(st, fx, now, txn, work);
         }
     }

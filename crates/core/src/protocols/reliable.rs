@@ -15,7 +15,7 @@
 
 use crate::metrics::AbortReason;
 use crate::payload::{Payload, ReplicaMsg, TxnPriority};
-use crate::protocols::Effects;
+use crate::protocols::{Effects, RetransmitBackoff};
 use crate::state::{EventBuf, LocalEvent, SiteState};
 use bcastdb_broadcast::reliable::{self, ReliableBcast};
 use bcastdb_db::TxnId;
@@ -53,6 +53,12 @@ pub struct ReliableProto {
     /// handed back (empty) by `pump`, so steady-state message handling
     /// never allocates a fresh queue.
     idle_work: VecDeque<Work>,
+    /// Cadence control of the periodic `RSync` solicitation (fires every
+    /// tick unless [`ReliableProto::enable_backoff`] was called).
+    backoff: RetransmitBackoff,
+    /// Delivery watermarks at the last solicitation, the progress signal
+    /// that resets the backoff.
+    last_watermarks: Vec<u64>,
 }
 
 impl ReliableProto {
@@ -68,6 +74,8 @@ impl ReliableProto {
             writing: std::collections::BTreeMap::new(),
             fast_commit: false,
             suspected: BTreeSet::new(),
+            backoff: RetransmitBackoff::new(me),
+            last_watermarks: Vec::new(),
         }
     }
 
@@ -82,7 +90,15 @@ impl ReliableProto {
             writing: std::collections::BTreeMap::new(),
             fast_commit: false,
             suspected: BTreeSet::new(),
+            backoff: RetransmitBackoff::new(me),
+            last_watermarks: Vec::new(),
         }
+    }
+
+    /// Switches the periodic `RSync` solicitation from fire-every-tick to
+    /// bounded exponential backoff with deterministic jitter.
+    pub fn enable_backoff(&mut self) {
+        self.backoff.enable();
     }
 
     /// Per-origin reliable-broadcast delivery watermarks (state transfer).
@@ -170,9 +186,18 @@ impl ReliableProto {
     }
 
     /// Periodic tick in loss-recovery (relay) mode: publish our delivery
-    /// watermarks so peers can fill our gaps.
+    /// watermarks so peers can fill our gaps. With backoff enabled, the
+    /// solicitation cadence doubles while the watermarks stand still and
+    /// snaps back to every tick the moment they move.
     pub fn on_tick(&mut self, fx: &mut Effects) {
-        fx.send_others(ReplicaMsg::RSync(self.rb.watermarks()));
+        let marks = self.rb.watermarks();
+        if marks != self.last_watermarks {
+            self.backoff.reset();
+            self.last_watermarks = marks.clone();
+        }
+        if self.backoff.due() {
+            fx.send_others(ReplicaMsg::RSync(marks));
+        }
     }
 
     /// Installs a new view: departed sites are no longer expected to vote,
@@ -731,6 +756,55 @@ mod tests {
                 "site {i}: no install"
             );
         }
+    }
+
+    #[test]
+    fn relay_sync_cadence_backs_off_and_resets_on_progress() {
+        use bcastdb_broadcast::msg::MsgId;
+
+        let ticks = |p: &mut ReliableProto, n: usize| -> usize {
+            let mut sent = 0;
+            for _ in 0..n {
+                let mut fx = Effects::new();
+                p.on_tick(&mut fx);
+                sent += fx.sends.len();
+            }
+            sent
+        };
+
+        // Without backoff (the default), every tick solicits.
+        let mut plain = ReliableProto::new_with_relay(SiteId(0), 3);
+        assert_eq!(ticks(&mut plain, 64), 64);
+
+        // With backoff, a stalled site solicits exponentially more rarely.
+        let mut p = ReliableProto::new_with_relay(SiteId(0), 3);
+        p.enable_backoff();
+        let stalled = ticks(&mut p, 64);
+        assert!(
+            (1..16).contains(&stalled),
+            "64 stalled ticks must coalesce into a handful of syncs, got {stalled}"
+        );
+
+        // Progress (a delivery advancing the watermarks) snaps the cadence
+        // back to the very next tick.
+        let mut st = SiteState::new(SiteId(0), 3, ConflictPolicy::WoundWait);
+        let mut fx = Effects::new();
+        p.on_wire(
+            &mut st,
+            &mut fx,
+            SimTime::from_micros(1),
+            SiteId(1),
+            reliable::Wire {
+                id: MsgId {
+                    origin: SiteId(1),
+                    seq: 1,
+                },
+                payload: std::sync::Arc::new(Payload::Null),
+            },
+        );
+        let mut fx = Effects::new();
+        p.on_tick(&mut fx);
+        assert_eq!(fx.sends.len(), 1, "post-progress tick solicits again");
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod time;
 pub mod trace;
 
 pub use event::{Event, EventKind, EventQueue, WheelStats};
-pub use net::{LatencyModel, LinkState, Network, NetworkConfig};
+pub use net::{
+    DropBreakdown, FaultClause, FaultKind, FaultPlan, LatencyModel, LinkState, Network,
+    NetworkConfig, Transit,
+};
 pub use rng::DetRng;
 pub use simulation::{Ctx, Node, RunOutcome, SendOutcome, Simulation};
 pub use stats::{Histogram, Sample, StatsHandle, StatsRegistry};

@@ -92,7 +92,7 @@ impl<'a, M: Clone, T: Clone> Ctx<'a, M, T> {
     /// Like [`Ctx::send`] but records `size` bytes against traffic counters.
     pub fn send_sized(&mut self, to: SiteId, msg: M, size: usize) -> SendOutcome {
         match self.net.transit(self.now, self.me, to, size, self.rng) {
-            Transit::DeliverAt(t) => {
+            Transit::DeliverAt(t) | Transit::Delayed(t) => {
                 self.queue.schedule(
                     t,
                     EventKind::Deliver {
@@ -102,6 +102,28 @@ impl<'a, M: Clone, T: Clone> Ctx<'a, M, T> {
                     },
                 );
                 SendOutcome::Accepted
+            }
+            Transit::Duplicated { first, second } => {
+                // A duplicated packet is *two* deliveries of one logical
+                // message: the receiver's duplicate suppression (not the
+                // network) is what keeps semantics exactly-once.
+                self.queue.schedule(
+                    first,
+                    EventKind::Deliver {
+                        from: self.me,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+                self.queue.schedule(
+                    second,
+                    EventKind::Deliver {
+                        from: self.me,
+                        to,
+                        msg,
+                    },
+                );
+                SendOutcome::Duplicated
             }
             Transit::Dropped => SendOutcome::Dropped,
         }
@@ -139,6 +161,9 @@ pub enum SendOutcome {
     Accepted,
     /// The message was lost (random loss, crash, or partition).
     Dropped,
+    /// A fault-plan `Duplicate` clause fired: the message was accepted
+    /// and will be delivered *twice*.
+    Duplicated,
 }
 
 /// Why a run loop returned.
@@ -268,8 +293,20 @@ impl<N: Node> Simulation<N> {
             .net
             .transit(self.now, from, to, self.default_msg_size, &mut self.rng)
         {
-            Transit::DeliverAt(t) => {
+            Transit::DeliverAt(t) | Transit::Delayed(t) => {
                 self.queue.schedule(t, EventKind::Deliver { from, to, msg });
+            }
+            Transit::Duplicated { first, second } => {
+                self.queue.schedule(
+                    first,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+                self.queue
+                    .schedule(second, EventKind::Deliver { from, to, msg });
             }
             Transit::Dropped => {}
         }
